@@ -1,0 +1,88 @@
+"""Figure 12: sensitivity of the vector phase diagram (recall 0.92) to
+``cpq_r``, ``ic_r`` and the index part of ``cpm_r``.
+
+Each parameter is scaled by x0.1 / x0.3 / x1 / x3 / x10 and the win-band
+edges at 10 months are tracked. The paper's two observations:
+
+1. cheaper queries move the copy-data boundary (upper edge), not the
+   brute-force one; a smaller index does exactly the opposite;
+2. cheaper indexing only shifts the short-horizon onset, not the
+   long-horizon boundaries.
+"""
+
+import pytest
+
+from repro.engines.dedicated import LANCEDB_MODEL
+from repro.tco.phase import compute_phase_diagram
+from repro.tco.sensitivity import sweep
+
+from benchmarks.common import (
+    PAPER_LATENCY,
+    PAPER_VECTOR_BYTES,
+    approaches_for,
+    build_vector_scenario,
+    write_result,
+)
+
+FACTORS = [0.1, 0.3, 1.0, 3.0, 10.0]
+PARAMETERS = ["cost_per_query", "index_cost", "index_storage_monthly"]
+
+
+@pytest.fixture(scope="module")
+def approaches():
+    scenario = build_vector_scenario(vectors_per_file=3000, files=2)
+    return approaches_for(
+        name_suffix="fig12",
+        paper_bytes=PAPER_VECTOR_BYTES,
+        expansion=scenario.expansion,
+        rottnest_latency_s=PAPER_LATENCY["ivf_pq"] * 1.0,  # recall 0.92
+        index_type="ivf_pq",
+        dedicated_model=LANCEDB_MODEL,
+    )
+
+
+def test_fig12_sensitivity(approaches, benchmark):
+    copy, brute, rott = approaches
+    benchmark(lambda: compute_phase_diagram([copy, brute, rott], resolution=48))
+    lines = ["=== Figure 12: sensitivity (vector @0.92) ==="]
+    bands = {}
+    onsets = {}
+    for parameter in PARAMETERS:
+        lines.append(f"--- scaling {parameter} ---")
+        points = sweep(rott, brute, copy, parameter=parameter, factors=FACTORS)
+        for point in points:
+            band = point.win_band_at_10_months
+            onset = point.diagram.break_even_months("rottnest", 1e4)
+            bands[(parameter, point.factor)] = band
+            onsets[(parameter, point.factor)] = onset
+            band_text = (
+                f"[{band[0]:9.2e}, {band[1]:9.2e}]" if band else "(never wins)"
+            )
+            onset_text = f"{onset:8.4f}" if onset is not None else "     n/a"
+            lines.append(
+                f"  x{point.factor:<5} win band @10mo {band_text}  "
+                f"onset @1e4 queries {onset_text} months"
+            )
+    text = "\n".join(lines)
+    print(text)
+    write_result("fig12_sensitivity.txt", text)
+
+    # Observation 1a: cpq_r down 10x raises the upper edge a lot, the
+    # lower edge little.
+    base = bands[("cost_per_query", 1.0)]
+    cheap_q = bands[("cost_per_query", 0.1)]
+    assert cheap_q[1] > base[1] * 3
+    assert cheap_q[0] == pytest.approx(base[0], rel=0.5)
+    # Observation 1b: index storage moves the brute-force (lower) edge
+    # and barely the copy-data (upper) edge. For the vector index the
+    # x0.1 direction saturates against ic_r, so assert on x10.
+    small_idx = bands[("index_storage_monthly", 0.1)]
+    big_idx = bands[("index_storage_monthly", 10.0)]
+    assert small_idx[0] < base[0]
+    assert big_idx[0] > base[0] * 2
+    assert small_idx[1] == pytest.approx(base[1], rel=0.5)
+    assert big_idx[1] == pytest.approx(base[1], rel=0.5)
+    # Observation 2: ic_r only moves the onset.
+    cheap_ic = bands[("index_cost", 0.1)]
+    assert cheap_ic[1] == pytest.approx(base[1], rel=0.2)
+    assert onsets[("index_cost", 0.1)] < onsets[("index_cost", 10.0)]

@@ -1,0 +1,153 @@
+"""Figure 7: phase diagrams for (a) substring and (b) UUID search.
+
+Builds both exact-search deployments, measures Rottnest's per-query
+trace latency, scales storage terms to the paper's dataset sizes, and
+prints/persists the phase diagrams plus their boundary lines. Expected
+shape (paper §VII-B1):
+
+* Rottnest's win band spans ~4 orders of magnitude of query count at
+  10 months for both workloads;
+* the Rottnest/brute-force boundary *curves up* for substring search
+  (the FM index is nearly as large as the compressed data) but stays
+  flat for UUID search (tiny trie index);
+* break-even onset is days, not months.
+"""
+
+import pytest
+
+from repro.core.queries import SubstringQuery, UuidQuery
+from repro.tco.phase import compute_phase_diagram
+from repro.tco.render import describe_boundaries, render
+from repro.workloads.text import TextWorkload
+
+from benchmarks.common import (
+    PAPER_TEXT_BYTES,
+    PAPER_UUID_BYTES,
+    approaches_for,
+    build_text_scenario,
+    build_uuid_scenario,
+    mean_search_latency,
+    write_result,
+)
+
+
+@pytest.fixture(scope="module")
+def text_scenario():
+    return build_text_scenario(docs_per_file=400, files=3, avg_chars=400)
+
+
+@pytest.fixture(scope="module")
+def uuid_scenario():
+    return build_uuid_scenario(keys_per_file=30_000, files=3)
+
+
+def _report(name, scenario, paper_bytes, queries, title):
+    from benchmarks.common import PAPER_LATENCY
+
+    results = [
+        scenario.client.search(scenario.column, q, k=10) for q in queries
+    ]
+    measured = mean_search_latency(results)
+    calibrated = PAPER_LATENCY[scenario.index_type]
+    copy, brute, rott = approaches_for(
+        name_suffix=name,
+        paper_bytes=paper_bytes,
+        expansion=scenario.expansion,
+        rottnest_latency_s=calibrated,
+        index_type=scenario.index_type,
+    )
+    diagram = compute_phase_diagram([copy, brute, rott])
+    # Secondary variant: fully measured micro-scale latency.
+    _, _, rott_micro = approaches_for(
+        name_suffix=name,
+        paper_bytes=paper_bytes,
+        expansion=scenario.expansion,
+        rottnest_latency_s=measured,
+        index_type=scenario.index_type,
+    )
+    micro = compute_phase_diagram([copy, brute, rott_micro])
+    lines = [
+        f"=== Figure 7{title} ===",
+        f"measured index expansion: {scenario.expansion:.3f} bytes/byte",
+        f"rottnest latency: measured {measured*1000:.1f} ms at micro "
+        f"scale; paper-calibrated {calibrated:.1f} s used for the diagram",
+        f"cpq_r=${rott.cost_per_query:.2e}  cpq_bf=${brute.cost_per_query:.3f}"
+        f"  cpm_r=${rott.cost_per_month:.0f}/mo  cpm_bf=${brute.cost_per_month:.0f}/mo"
+        f"  cpm_i=${copy.cost_per_month:.0f}/mo  ic_r=${rott.index_cost:.1f}",
+        render(diagram),
+        "",
+        describe_boundaries(diagram, [0.1, 1.0, 10.0, 100.0]),
+        "",
+        f"win band at 10 months: {diagram.win_band('rottnest', 10.0)}",
+        f"orders of magnitude won at 10 months: "
+        f"{diagram.orders_of_magnitude_won('rottnest', 10.0):.2f}",
+        f"break-even onset at 1e4 queries: "
+        f"{diagram.break_even_months('rottnest', 1e4):.3f} months",
+        f"[micro-latency variant] win band at 10 months: "
+        f"{micro.win_band('rottnest', 10.0)}",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    write_result(f"fig7_{name}.txt", text)
+    return diagram, rott
+
+
+def test_fig7a_substring_phase(text_scenario, benchmark):
+    gen = TextWorkload(seed=99, vocabulary_size=2000)
+    docs = text_scenario.lake.to_pylist("text")
+    queries = [SubstringQuery(n) for n in gen.present_queries(docs, 8, length=14)]
+    benchmark(
+        lambda: text_scenario.client.search("text", queries[0], k=10)
+    )
+    diagram, _ = _report(
+        "substring", text_scenario, PAPER_TEXT_BYTES, queries, "a (substring)"
+    )
+    # Paper shape assertions.
+    assert diagram.orders_of_magnitude_won("rottnest", 10.0) >= 3.0
+    assert diagram.break_even_months("rottnest", 1e4) < 1.0
+    # Curvature up vs brute force: the lower boundary rises with months
+    # (index storage is a large fraction of data storage).
+    lo_1 = diagram.win_band("rottnest", 1.0)[0]
+    lo_100 = diagram.win_band("rottnest", 100.0)[0]
+    assert lo_100 > lo_1 * 3
+
+
+def test_fig7b_uuid_phase(uuid_scenario, benchmark):
+    gen = uuid_scenario.uuid_gen
+    queries = [UuidQuery(k) for k in gen.present_queries(8)]
+    benchmark(lambda: uuid_scenario.client.search("uuid", queries[0], k=10))
+    diagram, _ = _report(
+        "uuid", uuid_scenario, PAPER_UUID_BYTES, queries, "b (UUID)"
+    )
+    assert diagram.orders_of_magnitude_won("rottnest", 10.0) >= 4.0
+    assert diagram.break_even_months("rottnest", 1e4) < 0.5
+
+
+def test_fig7_boundary_curvature(text_scenario, uuid_scenario, benchmark):
+    """§VII-B1: the Rottnest/brute boundary curves up for substring
+    search (index ~ as large as the data) but stays much flatter for
+    UUID search (tiny trie index)."""
+    gen = TextWorkload(seed=99, vocabulary_size=2000)
+    docs = text_scenario.lake.to_pylist("text")
+    benchmark(
+        lambda: text_scenario.client.search(
+            "text", SubstringQuery(docs[0][:12]), k=5
+        )
+    )
+    text_diag, _ = _report(
+        "substring_curv", text_scenario, PAPER_TEXT_BYTES,
+        [SubstringQuery(n) for n in gen.present_queries(docs, 3, length=14)],
+        "a (curvature)",
+    )
+    uuid_diag, _ = _report(
+        "uuid_curv", uuid_scenario, PAPER_UUID_BYTES,
+        [UuidQuery(k) for k in uuid_scenario.uuid_gen.present_queries(3)],
+        "b (curvature)",
+    )
+
+    def curvature(diagram):
+        lo_1 = diagram.win_band("rottnest", 1.0)[0]
+        lo_100 = diagram.win_band("rottnest", 100.0)[0]
+        return lo_100 / lo_1
+
+    assert curvature(uuid_diag) < curvature(text_diag) / 3

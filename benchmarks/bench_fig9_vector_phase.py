@@ -1,0 +1,147 @@
+"""Figure 9: vector-search phase diagrams at recall targets 0.87 / 0.92
+/ 0.97.
+
+``nprobe`` and ``refine`` are grid-tuned against exact ground truth to
+hit each recall@10 target, exactly as the paper tunes its IVF-PQ. The
+paper's finding to reproduce: the higher recall target costs ~35 % more
+per query, but on log-log axes this barely moves the phase boundaries —
+Rottnest still wins ~4 orders of magnitude of query volume at 10
+months, so picking an index remains a good decision even if recall
+requirements change later.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.queries import VectorQuery
+from repro.tco.phase import compute_phase_diagram
+from repro.tco.render import describe_boundaries, render
+from repro.workloads.vectors import exact_knn, recall_at_k
+
+from benchmarks.common import (
+    PAPER_VECTOR_BYTES,
+    approaches_for,
+    build_vector_scenario,
+    mean_search_latency,
+    write_result,
+)
+from repro.engines.dedicated import LANCEDB_MODEL
+
+RECALL_TARGETS = [0.87, 0.92, 0.97]
+#: §VII-C: measured Rottnest latencies at each recall target.
+PAPER_LATENCIES = {0.87: 2.09, 0.92: 2.30, 0.97: 2.81}
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    # Noisy, many-cluster distribution so the recall targets genuinely
+    # separate nprobe/refine settings (SIFT-like difficulty).
+    return build_vector_scenario(
+        vectors_per_file=4000, files=2, dim=64, nlist=64, m=16,
+        n_clusters=64, noise_scale=8.0,
+    )
+
+
+def measure_recall(scenario, nprobe, refine, queries):
+    recalls = []
+    for query in queries:
+        res = scenario.client.search(
+            "emb", VectorQuery(query, nprobe=nprobe, refine=refine), k=10
+        )
+        found = []
+        snap = scenario.lake.snapshot()
+        base = 0
+        offsets = {}
+        for entry in snap.files:
+            offsets[entry.path] = base
+            base += entry.num_rows
+        for m in res.matches:
+            found.append(offsets[m.file] + m.row)
+        true = exact_knn(scenario.corpus, query, 10)
+        recalls.append(recall_at_k(found, true.tolist()))
+    return float(np.mean(recalls))
+
+
+def tune_for_recall(scenario, target, queries):
+    """Smallest (nprobe, refine) hitting the recall target."""
+    for nprobe in (1, 2, 4, 6, 8, 12, 16, 24, 32, 48):
+        for refine in (20, 50, 100, 200, 400):
+            recall = measure_recall(scenario, nprobe, refine, queries)
+            if recall >= target:
+                return nprobe, refine, recall
+    raise AssertionError(f"could not reach recall {target}")
+
+
+@pytest.fixture(scope="module")
+def tuned(scenario):
+    rng = np.random.default_rng(7)
+    queries = scenario.vector_gen.queries(20)
+    return {
+        target: tune_for_recall(scenario, target, queries)
+        for target in RECALL_TARGETS
+    }
+
+
+def test_fig9_phase_diagrams(scenario, tuned, benchmark):
+    rng = np.random.default_rng(0)
+    q = scenario.corpus[3]
+    benchmark(
+        lambda: scenario.client.search(
+            "emb", VectorQuery(q, nprobe=8, refine=64), k=10
+        )
+    )
+    lines = ["=== Figure 9: vector phase diagrams at recall targets ==="]
+    bands = {}
+    for target in RECALL_TARGETS:
+        nprobe, refine, achieved = tuned[target]
+        queries = scenario.vector_gen.queries(6)
+        results = [
+            scenario.client.search(
+                "emb", VectorQuery(qv, nprobe=nprobe, refine=refine), k=10
+            )
+            for qv in queries
+        ]
+        measured = mean_search_latency(results)
+        calibrated = PAPER_LATENCIES[target]
+        copy, brute, rott = approaches_for(
+            name_suffix=f"recall{target}",
+            paper_bytes=PAPER_VECTOR_BYTES,
+            expansion=scenario.expansion,
+            rottnest_latency_s=calibrated,
+            index_type="ivf_pq",
+            dedicated_model=LANCEDB_MODEL,
+        )
+        diagram = compute_phase_diagram([copy, brute, rott])
+        band = diagram.win_band("rottnest", 10.0)
+        bands[target] = band
+        lines += [
+            f"--- recall target {target} ---",
+            f"tuned nprobe={nprobe} refine={refine} "
+            f"achieved recall@10={achieved:.3f}",
+            f"measured latency {measured*1000:.1f} ms (micro); "
+            f"paper-calibrated {calibrated:.2f} s",
+            render(diagram, width=48, height=14),
+            describe_boundaries(diagram, [1.0, 10.0]),
+            f"win band at 10 months: {band}  "
+            f"({diagram.orders_of_magnitude_won('rottnest', 10.0):.2f} OoM)",
+            "",
+        ]
+        assert achieved >= target
+        assert diagram.orders_of_magnitude_won("rottnest", 10.0) >= 3.5
+    text = "\n".join(lines)
+    print(text)
+    write_result("fig9_vector_phase.txt", text)
+
+    # The paper's conclusion: the 0.97-vs-0.87 boundary shift is small
+    # on log-log axes (same order of magnitude at both band edges).
+    lo_ratio = bands[0.97][0] / bands[0.87][0]
+    hi_ratio = bands[0.87][1] / bands[0.97][1]
+    assert lo_ratio < 3
+    assert hi_ratio < 3
+
+
+def test_fig9_recall_cost_monotonicity(scenario, tuned, benchmark):
+    """Higher recall targets require at least as much work."""
+    benchmark(lambda: tuned)
+    probes = [tuned[t][0] * tuned[t][1] for t in RECALL_TARGETS]
+    assert probes == sorted(probes)

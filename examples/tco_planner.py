@@ -1,0 +1,95 @@
+"""TCO planner: "which architecture should I run?" (§VI).
+
+Give it your workload's shape — dataset size, expected queries per
+month, planning horizon — and it prints the phase diagram plus a direct
+recommendation, using the same cost model as the Figure 7/9 benchmarks.
+
+Run::
+
+    python examples/tco_planner.py [dataset_gb] [queries_per_month] [months] [sla_s]
+
+The optional SLA reproduces Figure 2's other axis: approaches whose
+minimum latency misses the SLA are infeasible no matter how cheap.
+"""
+
+import sys
+
+from repro.engines.bruteforce import BruteForceModel
+from repro.engines.dedicated import OPENSEARCH_MODEL
+from repro.storage.costs import GB, CostModel
+from repro.tco.model import ApproachCost
+from repro.tco.phase import cheapest_feasible, compute_phase_diagram
+from repro.tco.render import describe_boundaries, render
+
+
+def plan(
+    dataset_gb: float,
+    queries_per_month: float,
+    months: float,
+    sla_s: float | None = None,
+) -> None:
+    costs = CostModel()
+    paper_bytes = int(dataset_gb * GB)
+    brute_model = BruteForceModel(scan_rate_bytes_per_s=0.5e9)
+
+    copy = ApproachCost(
+        name="copy-data",
+        cost_per_month=OPENSEARCH_MODEL.monthly_cost(paper_bytes, costs),
+        min_latency_s=0.03,
+    )
+    brute = ApproachCost(
+        name="brute-force",
+        cost_per_month=costs.storage_monthly(paper_bytes),
+        cost_per_query=brute_model.cost_per_query(paper_bytes, 8, costs),
+        min_latency_s=brute_model.latency(paper_bytes, 64),
+    )
+    rottnest = ApproachCost(
+        name="rottnest",
+        index_cost=paper_bytes / 8e6 * costs.instance_hourly("c6i.2xlarge") / 3600,
+        cost_per_month=costs.storage_monthly(int(paper_bytes * 1.6)),
+        cost_per_query=3.0 * costs.instance_hourly("c6i.2xlarge") / 3600,
+        min_latency_s=3.0,
+    )
+
+    diagram = compute_phase_diagram([copy, brute, rottnest])
+    print(render(diagram))
+    print()
+    print(describe_boundaries(diagram, [1.0, months]))
+    print()
+
+    total_queries = queries_per_month * months
+    approaches = [copy, brute, rottnest]
+    winner = cheapest_feasible(
+        approaches, months=months, queries=total_queries, sla_s=sla_s
+    )
+    if winner is None:
+        print(f"no approach meets a {sla_s}s latency SLA")
+        return
+    print(
+        f"your workload: {dataset_gb:g} GB, {queries_per_month:g} "
+        f"queries/month for {months:g} months "
+        f"({total_queries:g} total queries)"
+    )
+    for approach in diagram.approaches:
+        marker = ""
+        if approach.name == winner.name:
+            marker = " <== cheapest" + ("" if sla_s is None else " feasible")
+        elif sla_s is not None and approach.min_latency_s > sla_s:
+            marker = f"  (misses {sla_s}s SLA)"
+        print(
+            f"  {approach.name:>12}: ${approach.tco(months, total_queries):12,.0f}"
+            f"  (min latency ~{approach.min_latency_s:.2f}s){marker}"
+        )
+
+
+def main() -> None:
+    args = [float(a) for a in sys.argv[1:5]]
+    dataset_gb = args[0] if len(args) > 0 else 300.0
+    queries_per_month = args[1] if len(args) > 1 else 2000.0
+    months = args[2] if len(args) > 2 else 12.0
+    sla_s = args[3] if len(args) > 3 else None
+    plan(dataset_gb, queries_per_month, months, sla_s)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro: a full reproduction of *Rottnest: Indexing Data Lakes for
+Search* (ICDE 2025).
+
+Layer map (bottom up):
+
+* :mod:`repro.storage` — S3-like object store with latency/cost models,
+* :mod:`repro.formats` — Parquet-like columnar format + two readers,
+* :mod:`repro.lake` — Delta-like transactional data lake,
+* :mod:`repro.meta` — Rottnest's transactional metadata table,
+* :mod:`repro.indices` — componentized trie / FM-index / IVF-PQ,
+* :mod:`repro.core` — the Rottnest client protocol
+  (``index`` / ``search`` / ``compact`` / ``vacuum``),
+* :mod:`repro.engines` — brute-force and copy-data baselines,
+* :mod:`repro.tco` — the TCO phase-diagram evaluation framework,
+* :mod:`repro.workloads` — synthetic workload generators.
+
+Quickstart::
+
+    from repro import quickstart  # see examples/quickstart.py
+"""
+
+from repro.core import (
+    RangeQuery,
+    RegexQuery,
+    RottnestClient,
+    SearchMatch,
+    SearchResult,
+    SubstringQuery,
+    UuidQuery,
+    VectorQuery,
+    compact_indices,
+    vacuum_indices,
+)
+from repro.lake import LakeTable, TableConfig
+from repro.formats import ColumnType, Field, Schema
+from repro.storage import InMemoryObjectStore, LocalFSObjectStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RangeQuery",
+    "RegexQuery",
+    "RottnestClient",
+    "SearchMatch",
+    "SearchResult",
+    "SubstringQuery",
+    "UuidQuery",
+    "VectorQuery",
+    "compact_indices",
+    "vacuum_indices",
+    "LakeTable",
+    "TableConfig",
+    "ColumnType",
+    "Field",
+    "Schema",
+    "InMemoryObjectStore",
+    "LocalFSObjectStore",
+    "__version__",
+]

@@ -1,0 +1,350 @@
+"""Command-line interface: operate a lake + Rottnest index on disk.
+
+Backed by :class:`~repro.storage.localfs.LocalFSObjectStore`, so state
+persists across invocations — each subcommand is the "any VM or
+serverless function with access to the bucket" of the paper's protocol.
+
+Usage sketch::
+
+    python -m repro create-table --root /tmp/bucket --table lake/logs \
+        --schema "ts:int64,request_id:binary,message:string"
+    python -m repro append --root /tmp/bucket --table lake/logs \
+        --jsonl events.jsonl
+    python -m repro index --root /tmp/bucket --table lake/logs \
+        --index-dir idx/logs --column request_id --type uuid_trie
+    python -m repro search --root /tmp/bucket --table lake/logs \
+        --index-dir idx/logs --column request_id --uuid deadbeef... -k 5
+    python -m repro compact --root ... ; python -m repro vacuum --root ...
+    python -m repro info --root /tmp/bucket --table lake/logs
+
+Binary values travel as hex in JSONL/arguments; vectors as JSON arrays.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.core.client import RottnestClient
+from repro.core.maintenance import compact_indices, vacuum_indices
+from repro.core.queries import (
+    RangeQuery,
+    RegexQuery,
+    SubstringQuery,
+    UuidQuery,
+    VectorQuery,
+)
+from repro.errors import ReproError
+from repro.formats.schema import ColumnType, Field, Schema
+from repro.lake.table import LakeTable, TableConfig
+from repro.storage.localfs import LocalFSObjectStore
+
+
+def parse_schema(spec: str) -> Schema:
+    """``"name:type[:dim]"`` comma list -> Schema."""
+    fields = []
+    for part in spec.split(","):
+        bits = part.strip().split(":")
+        if len(bits) not in (2, 3):
+            raise ReproError(f"bad field spec {part!r}; want name:type[:dim]")
+        name, type_name = bits[0], bits[1].upper()
+        try:
+            column_type = ColumnType[type_name]
+        except KeyError:
+            raise ReproError(
+                f"unknown type {bits[1]!r}; one of "
+                f"{[t.name.lower() for t in ColumnType]}"
+            ) from None
+        dim = int(bits[2]) if len(bits) == 3 else 0
+        fields.append(Field(name=name, type=column_type, vector_dim=dim))
+    return Schema.of(*fields)
+
+
+def _decode_value(field: Field, raw):
+    if field.type is ColumnType.BINARY:
+        return bytes.fromhex(raw)
+    if field.type is ColumnType.VECTOR:
+        return raw  # list; batched below
+    return raw
+
+
+def _encode_value(value):
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value).hex()
+    if isinstance(value, np.ndarray):
+        return [round(float(x), 6) for x in value]
+    return value
+
+
+def _load_columns(schema: Schema, lines: list[str]) -> dict[str, list]:
+    columns: dict[str, list] = {f.name: [] for f in schema.fields}
+    for line_no, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"line {line_no}: not JSON ({exc})") from exc
+        for f in schema.fields:
+            if f.name not in obj:
+                raise ReproError(f"line {line_no}: missing column {f.name!r}")
+            columns[f.name].append(_decode_value(f, obj[f.name]))
+    for f in schema.fields:
+        if f.type is ColumnType.VECTOR:
+            columns[f.name] = np.asarray(columns[f.name], dtype=np.float32)
+    return columns
+
+
+def _open(args) -> tuple[LocalFSObjectStore, LakeTable]:
+    store = LocalFSObjectStore(args.root)
+    return store, LakeTable.open(store, args.table)
+
+
+def cmd_create_table(args) -> int:
+    store = LocalFSObjectStore(args.root)
+    schema = parse_schema(args.schema)
+    config = TableConfig(
+        row_group_rows=args.row_group_rows,
+        page_target_bytes=args.page_target_bytes,
+    )
+    LakeTable.create(store, args.table, schema, config)
+    print(f"created table {args.table!r} with columns {schema.names}")
+    return 0
+
+
+def cmd_append(args) -> int:
+    store, lake = _open(args)
+    if args.jsonl == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(args.jsonl) as f:
+            lines = f.readlines()
+    columns = _load_columns(lake.schema, lines)
+    count = len(next(iter(columns.values())))
+    if count == 0:
+        raise ReproError("no rows to append")
+    version = lake.append(columns)
+    print(f"appended {count} rows as version {version}")
+    return 0
+
+
+def cmd_index(args) -> int:
+    store, lake = _open(args)
+    client = RottnestClient(store, args.index_dir, lake)
+    params = {}
+    for pair in args.param or []:
+        key, _, value = pair.partition("=")
+        params[key] = json.loads(value)
+    record = client.index(args.column, args.type, params=params)
+    if record is None:
+        print("nothing new to index")
+    else:
+        print(
+            f"indexed {record.num_rows} rows "
+            f"({len(record.covered_files)} file(s)) into "
+            f"{record.index_key} [{record.size} bytes]"
+        )
+    return 0
+
+
+def _build_query(args):
+    choices = [args.uuid, args.substring, args.regex, args.vector, args.range]
+    if sum(c is not None for c in choices) != 1:
+        raise ReproError(
+            "give exactly one of --uuid, --substring, --regex, --vector, "
+            "--range"
+        )
+    if args.uuid is not None:
+        return UuidQuery(bytes.fromhex(args.uuid))
+    if args.substring is not None:
+        return SubstringQuery(args.substring)
+    if args.regex is not None:
+        return RegexQuery(args.regex)
+    if args.range is not None:
+        lo, hi = (json.loads(v) for v in args.range)
+        return RangeQuery(lo, hi)
+    vector = np.asarray(json.loads(args.vector), dtype=np.float32)
+    return VectorQuery(vector, nprobe=args.nprobe, refine=args.refine)
+
+
+def cmd_search(args) -> int:
+    store, lake = _open(args)
+    client = RottnestClient(store, args.index_dir, lake)
+    query = _build_query(args)
+    result = client.search(
+        args.column, query, k=args.k, partition=args.partition
+    )
+    for match in result.matches:
+        print(
+            json.dumps(
+                {
+                    "file": match.file,
+                    "row": match.row,
+                    "value": _encode_value(match.value),
+                    **({"score": match.score} if match.score is not None else {}),
+                }
+            )
+        )
+    stats = result.stats
+    print(
+        f"# {len(result.matches)} match(es); "
+        f"{stats.index_files_queried} index file(s), "
+        f"{stats.pages_probed} page(s) probed, "
+        f"{stats.files_brute_forced} file(s) brute-forced, "
+        f"~{stats.estimated_latency() * 1000:.0f} ms modeled",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_compact(args) -> int:
+    store, lake = _open(args)
+    client = RottnestClient(store, args.index_dir, lake)
+    merged = compact_indices(
+        client, args.column, args.type, threshold_bytes=args.threshold_bytes
+    )
+    print(f"compacted into {len(merged)} merged index file(s)")
+    return 0
+
+
+def cmd_vacuum(args) -> int:
+    store, lake = _open(args)
+    client = RottnestClient(store, args.index_dir, lake)
+    snapshot_id = (
+        args.snapshot_id if args.snapshot_id is not None else lake.latest_version()
+    )
+    report = vacuum_indices(client, snapshot_id=snapshot_id)
+    print(
+        f"kept {len(report.kept)} index file(s); deleted "
+        f"{len(report.deleted_records)} record(s) and "
+        f"{len(report.deleted_objects)} object(s)"
+    )
+    return 0
+
+
+def cmd_fsck(args) -> int:
+    store, lake = _open(args)
+    client = RottnestClient(store, args.index_dir, lake)
+    from repro.core.fsck import fsck
+
+    report = fsck(client, verify_consistency=not args.fast)
+    print(report.describe())
+    return 0 if report.invariants_hold else 2
+
+
+def cmd_info(args) -> int:
+    store, lake = _open(args)
+    snap = lake.snapshot()
+    print(f"table:     {args.table}")
+    print(f"version:   {snap.version}")
+    print(f"columns:   {', '.join(snap.schema.names)}")
+    print(f"files:     {len(snap.files)}")
+    print(f"rows:      {snap.num_rows}")
+    print(f"bytes:     {snap.total_bytes}")
+    print(f"deletions: {len(snap.deletion_vectors)} file(s) with vectors")
+    if args.index_dir:
+        client = RottnestClient(store, args.index_dir, lake)
+        for record in client.meta.records():
+            print(
+                f"index:     {record.index_type} on {record.column} "
+                f"covering {len(record.covered_files)} file(s) "
+                f"[{record.size} bytes]"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Rottnest data-lake search (reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, index_dir_required=False):
+        p.add_argument("--root", required=True, help="bucket directory")
+        p.add_argument("--table", required=True, help="table root key")
+        p.add_argument(
+            "--index-dir",
+            required=index_dir_required,
+            help="Rottnest index root key",
+        )
+
+    p = sub.add_parser("create-table", help="create an empty lake table")
+    p.add_argument("--root", required=True)
+    p.add_argument("--table", required=True)
+    p.add_argument("--schema", required=True, help="name:type[:dim],...")
+    p.add_argument("--row-group-rows", type=int, default=50_000)
+    p.add_argument("--page-target-bytes", type=int, default=1 << 20)
+    p.set_defaults(func=cmd_create_table)
+
+    p = sub.add_parser("append", help="append JSONL rows")
+    common(p)
+    p.add_argument("--jsonl", required=True, help="path or - for stdin")
+    p.set_defaults(func=cmd_append)
+
+    p = sub.add_parser("index", help="build/refresh an index on a column")
+    common(p, index_dir_required=True)
+    p.add_argument("--column", required=True)
+    p.add_argument("--type", required=True, help="uuid_trie|bloom|fm|ivf_pq")
+    p.add_argument("--param", action="append", help="key=json, repeatable")
+    p.set_defaults(func=cmd_index)
+
+    p = sub.add_parser("search", help="search a column")
+    common(p, index_dir_required=True)
+    p.add_argument("--column", required=True)
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--uuid", help="hex key")
+    p.add_argument("--substring")
+    p.add_argument("--regex")
+    p.add_argument("--vector", help="JSON array of floats")
+    p.add_argument(
+        "--range", nargs=2, metavar=("LO", "HI"),
+        help="inclusive range, JSON values (e.g. 100 200 or '\"a\"' '\"b\"')",
+    )
+    p.add_argument("--nprobe", type=int, default=8)
+    p.add_argument("--refine", type=int, default=100)
+    p.add_argument("--partition", help="restrict to one partition")
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("compact", help="merge small index files")
+    common(p, index_dir_required=True)
+    p.add_argument("--column", required=True)
+    p.add_argument("--type", required=True)
+    p.add_argument("--threshold-bytes", type=int, default=16 << 20)
+    p.set_defaults(func=cmd_compact)
+
+    p = sub.add_parser("vacuum", help="garbage-collect index files")
+    common(p, index_dir_required=True)
+    p.add_argument("--snapshot-id", type=int, default=None)
+    p.set_defaults(func=cmd_vacuum)
+
+    p = sub.add_parser("info", help="table + index summary")
+    common(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("fsck", help="audit index integrity invariants")
+    common(p, index_dir_required=True)
+    p.add_argument(
+        "--fast", action="store_true",
+        help="existence checks only (skip page-table verification)",
+    )
+    p.set_defaults(func=cmd_fsck)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,681 @@
+"""The Rottnest client: ``index`` and ``search`` (paper §IV-A, §IV-B).
+
+The client is stateless between calls; all shared state lives in the
+object store (index files + metadata table) and the underlying lake.
+``index`` may be called from any process; ``search`` is read-only and
+safe to run concurrently with everything else. ``compact`` and
+``vacuum`` live in :mod:`repro.core.maintenance`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    IndexAborted,
+    ObjectStoreError,
+    RottnestIndexError,
+    SnapshotNotFound,
+)
+from repro.core.index_file import IndexFileReader, IndexFileWriter, PageDirectory
+from repro.core.queries import Query, VectorQuery
+from repro.formats.page_reader import PageEntry, PageTable, build_page_table, read_page
+from repro.formats.reader import ParquetFile
+from repro.indices.base import (
+    ExactQuerier,
+    ScoringQuerier,
+    builder_for,
+    querier_for,
+)
+from repro.lake.snapshot import Snapshot
+from repro.lake.table import LakeTable
+from repro.meta.metadata_table import IndexRecord, MetadataTable
+from repro.storage.latency import LatencyModel
+from repro.storage.object_store import ObjectStore
+from repro.storage.stats import RequestTrace
+
+INDEX_FILES_DIR = "files"
+DEFAULT_INDEX_TIMEOUT_S = 3600.0
+
+
+@dataclass(frozen=True)
+class SearchMatch:
+    """One verified result row."""
+
+    file: str
+    row: int  # file-global row index
+    value: object  # the matched column value
+    score: float | None = None  # distance for scoring queries
+
+
+@dataclass
+class SearchStats:
+    """Accounting for one search call."""
+
+    trace: RequestTrace
+    index_files_queried: int = 0
+    files_brute_forced: int = 0
+    pages_probed: int = 0
+    candidates: int = 0
+    false_positives: int = 0
+
+    def estimated_latency(self, model: LatencyModel | None = None) -> float:
+        """Wall-clock estimate under the store's latency model."""
+        return (model or LatencyModel()).trace_latency(self.trace)
+
+
+@dataclass
+class SearchResult:
+    matches: list[SearchMatch]
+    stats: SearchStats
+
+
+@dataclass(frozen=True)
+class SearchPlan:
+    """What a search would do, without doing it (``explain``)."""
+
+    column: str
+    snapshot_version: int
+    candidate_files: tuple[str, ...]  # files in scope after filtering
+    index_files: tuple[tuple[str, str, int], ...]  # (key, type, files covered)
+    uncovered_files: tuple[str, ...]  # would be brute-force scanned
+
+    @property
+    def fully_covered(self) -> bool:
+        return not self.uncovered_files
+
+    def describe(self) -> str:
+        lines = [
+            f"search plan for column {self.column!r} "
+            f"@ snapshot v{self.snapshot_version}",
+            f"  files in scope: {len(self.candidate_files)}",
+        ]
+        for key, index_type, covered in self.index_files:
+            lines.append(
+                f"  index {key} ({index_type}) -> {covered} file(s)"
+            )
+        if self.uncovered_files:
+            lines.append(
+                f"  brute-force scan: {len(self.uncovered_files)} file(s)"
+            )
+        else:
+            lines.append("  brute-force scan: none (fully covered)")
+        return "\n".join(lines)
+
+
+class RottnestClient:
+    """Index management + search over one lake table column set."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        index_dir: str,
+        lake: LakeTable,
+        *,
+        index_timeout_s: float = DEFAULT_INDEX_TIMEOUT_S,
+        codec: str = "zlib",
+    ) -> None:
+        self.store = store
+        self.index_dir = index_dir.rstrip("/")
+        self.lake = lake
+        self.meta = MetadataTable(store, self.index_dir)
+        self.index_timeout_s = index_timeout_s
+        self.codec = codec
+
+    # ------------------------------------------------------------------
+    # index (§IV-A): plan -> build -> upload -> commit, with timeout
+    # ------------------------------------------------------------------
+    def index(
+        self,
+        column: str,
+        index_type: str,
+        *,
+        snapshot: Snapshot | None = None,
+        params: dict | None = None,
+    ) -> IndexRecord | None:
+        """Bring the index on ``column`` up to date with ``snapshot``.
+
+        Builds one new index file covering every Parquet file in the
+        snapshot not already covered by the metadata table. Returns the
+        committed record, or ``None`` when there is nothing new to
+        index. Raises :class:`IndexAborted` on timeout, on inputs that
+        vanish mid-build (e.g. a concurrent lake vacuum), or when the
+        new data is below the index type's minimum size.
+        """
+        snap = snapshot or self.lake.snapshot()
+        started = self.store.clock.now()
+        builder_cls = builder_for(index_type)
+
+        # Plan: new data files only (deletion vectors are never
+        # indexed); coverage is per (column, index type).
+        already = self.meta.indexed_files(column, index_type)
+        new_files = [f for f in snap.files if f.path not in already]
+        if not new_files:
+            return None
+        total_rows = sum(f.num_rows for f in new_files)
+        if total_rows < builder_cls.min_rows:
+            raise IndexAborted(
+                f"{total_rows} new rows < minimum {builder_cls.min_rows} for "
+                f"{index_type!r}; leave them to brute-force scanning"
+            )
+
+        # Build: page tables + the index structure itself.
+        tables: list[PageTable] = []
+        page_stream: list[tuple[int, list]] = []
+        gid = 0
+        for entry in new_files:
+            try:
+                reader = ParquetFile(self.store, entry.path)
+            except ObjectStoreError as exc:
+                raise IndexAborted(
+                    f"input file {entry.path!r} disappeared during indexing; "
+                    f"retry against a newer snapshot"
+                ) from exc
+            table = build_page_table(reader.metadata, entry.path, column)
+            tables.append(table)
+            for values in _iter_page_values(reader, table, column):
+                page_stream.append((gid, values))
+                gid += 1
+        builder = builder_cls.build(page_stream, **(params or {}))
+        writer = IndexFileWriter(
+            index_type,
+            column,
+            PageDirectory(tables),
+            params=dict(params or {}),
+            codec=self.codec,
+        )
+        builder.write(writer)
+        blob = writer.finish()
+
+        # Timeout check before any externally visible effect: an indexer
+        # that overruns must abort so vacuum's age-based GC stays sound.
+        self._check_timeout(started, "before upload")
+
+        key = self.new_index_key(blob)
+        self.store.put(key, blob)
+
+        # Commit (transactional insert into the metadata table). A crash
+        # between upload and here leaves an orphan index file, cleaned
+        # up by vacuum once it is older than the timeout.
+        self._check_timeout(started, "before commit")
+        record = IndexRecord(
+            index_key=key,
+            index_type=index_type,
+            column=column,
+            covered_files=tuple(f.path for f in new_files),
+            num_rows=total_rows,
+            size=len(blob),
+            created_at=self.store.clock.now(),
+        )
+        self.meta.insert([record])
+        return record
+
+    def new_index_key(self, blob: bytes) -> str:
+        digest = hashlib.sha1(blob).hexdigest()[:10]
+        return (
+            f"{self.index_dir}/{INDEX_FILES_DIR}/"
+            f"{digest}-{os.urandom(4).hex()}.index"
+        )
+
+    def _open_data_file(self, snap: Snapshot, path: str) -> ParquetFile:
+        """Open a snapshot data file, translating a missing object into
+        an actionable error: old snapshots stop being searchable once
+        the lake's vacuum physically drops their files."""
+        try:
+            return ParquetFile(self.store, path)
+        except ObjectStoreError as exc:
+            _raise_unmaterialized(snap, path, exc)
+
+    def _check_timeout(self, started: float, stage: str) -> None:
+        elapsed = self.store.clock.now() - started
+        if elapsed > self.index_timeout_s:
+            raise IndexAborted(
+                f"index operation exceeded timeout ({elapsed:.0f}s > "
+                f"{self.index_timeout_s:.0f}s) {stage}; retry"
+            )
+
+    # ------------------------------------------------------------------
+    # search (§IV-B): plan -> query indices -> in-situ probe -> brute fill
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        column: str,
+        query: Query,
+        *,
+        k: int = 10,
+        snapshot: Snapshot | None = None,
+        partition: str | None = None,
+        file_predicate=None,
+    ) -> SearchResult:
+        """Top-K search of ``snapshot`` (defaults to latest).
+
+        Exact queries return any K verified matches; scoring queries
+        return the K best-ranked. Rows in unindexed Parquet files are
+        found by brute-force scanning, so no live row is ever missed.
+
+        ``partition`` / ``file_predicate`` restrict the search to a
+        subset of the snapshot's files — the paper's §VI mechanism for
+        structured filters (e.g. a time-range predicate over
+        time-partitioned data): cost scales with the fraction of
+        partitions touched instead of the whole lake.
+        """
+        if k < 1:
+            raise RottnestIndexError(f"k must be >= 1, got {k}")
+        # Plan phase is part of the query's latency: reading the
+        # metadata table (and the snapshot manifest when not pinned)
+        # costs real object-store round trips.
+        self.store.start_trace()
+        snap = snapshot or self.lake.snapshot()
+        snap_paths = self._scope(snap, partition, file_predicate)
+        chosen, uncovered = self._plan(column, query, snap_paths)
+        plan_trace = self.store.stop_trace()
+        plan_trace.barrier()  # index queries depend on the plan
+
+        stats = SearchStats(trace=plan_trace)
+        stats.index_files_queried = len(chosen)
+
+        if query.scoring:
+            matches = self._search_scoring(
+                column, query, k, snap, snap_paths, chosen, uncovered, stats
+            )
+        else:
+            matches = self._search_exact(
+                column, query, k, snap, snap_paths, chosen, uncovered, stats
+            )
+        return SearchResult(matches=matches, stats=stats)
+
+    def count(
+        self,
+        column: str,
+        query,
+        *,
+        snapshot: Snapshot | None = None,
+        partition: str | None = None,
+    ) -> int:
+        """Exact occurrence count of a substring, straight off the
+        FM indices (no in-situ probing for covered files).
+
+        Counts *occurrences* (overlapping included), not matching rows,
+        which is what corpus-frequency analytics wants. Rows in
+        uncovered files are brute-force counted; logically deleted rows
+        are **included** for covered files (their text is still in the
+        index) — pass a post-vacuum snapshot for exact live counts, or
+        use :meth:`search` when deletions matter.
+        """
+        from repro.core.queries import SubstringQuery
+        from repro.indices.fm.fm_index import FmQuerier
+
+        if not isinstance(query, SubstringQuery):
+            raise RottnestIndexError(
+                "count() serves SubstringQuery only; use search() otherwise"
+            )
+        snap = snapshot or self.lake.snapshot()
+        snap_paths = self._scope(snap, partition, None)
+        chosen, uncovered = self._plan(column, query, snap_paths)
+        total = 0
+        for record in chosen:
+            reader = IndexFileReader.open(self.store, record.index_key)
+            querier = FmQuerier(reader)
+            # Count only occurrences within in-scope files: when the
+            # index also covers out-of-scope files, fall back to probing
+            # pages per file via candidate resolution.
+            if set(record.covered_files) <= snap_paths:
+                total += querier.count(query.needle)
+            else:
+                total += self._count_via_scan(
+                    column, query, snap,
+                    set(record.covered_files) & snap_paths,
+                )
+        total += self._count_via_scan(column, query, snap, uncovered)
+        return total
+
+    def _count_via_scan(self, column, query, snap, paths) -> int:
+        total = 0
+        for path in sorted(paths):
+            dv = self.lake.deletion_vector(snap, path)
+            reader = self._open_data_file(snap, path)
+            for row, value in reader.scan_column(column):
+                if row in dv:
+                    continue
+                total += _count_overlapping(value, query.needle)
+        return total
+
+    def _scope(
+        self,
+        snap: Snapshot,
+        partition: str | None,
+        file_predicate,
+    ) -> set[str]:
+        """Snapshot files in scope for this query."""
+        paths = set(snap.file_paths)
+        if partition is not None:
+            paths = {
+                p for p in paths if LakeTable.partition_of(p) == partition
+            }
+        if file_predicate is not None:
+            paths = {p for p in paths if file_predicate(p)}
+        return paths
+
+    def explain(
+        self,
+        column: str,
+        query: Query,
+        *,
+        snapshot: Snapshot | None = None,
+        partition: str | None = None,
+        file_predicate=None,
+    ) -> SearchPlan:
+        """The plan :meth:`search` would execute, without executing it."""
+        snap = snapshot or self.lake.snapshot()
+        snap_paths = self._scope(snap, partition, file_predicate)
+        chosen, uncovered = self._plan(column, query, snap_paths)
+        return SearchPlan(
+            column=column,
+            snapshot_version=snap.version,
+            candidate_files=tuple(sorted(snap_paths)),
+            index_files=tuple(
+                (
+                    r.index_key,
+                    r.index_type,
+                    len(set(r.covered_files) & snap_paths),
+                )
+                for r in chosen
+            ),
+            uncovered_files=tuple(sorted(uncovered)),
+        )
+
+    def _plan(
+        self, column: str, query: Query, snap_paths: set[str]
+    ) -> tuple[list[IndexRecord], set[str]]:
+        """Pick index files to query and files left to brute-force.
+
+        Newest-first greedy cover: later index files (e.g. produced by
+        index compaction) win over the older ones they subsume; index
+        files covering no file of the snapshot are skipped entirely.
+        Any index type the query declares compatible can serve it, with
+        earlier types in ``query.index_types`` preferred on timestamp
+        ties (e.g. a trie over a bloom filter for the same files).
+        """
+        if not query.index_types:
+            return [], set(snap_paths)
+        type_rank = {t: i for i, t in enumerate(query.index_types)}
+        records = [
+            r
+            for r in self.meta.records()
+            if r.column == column and r.index_type in type_rank
+        ]
+        # Newest first; ties (same store-clock second) broken by query
+        # type preference, then metadata insertion order so compaction
+        # products win over the files they subsume.
+        ordered = [
+            records[i]
+            for i in sorted(
+                range(len(records)),
+                key=lambda i: (
+                    -records[i].created_at,
+                    type_rank[records[i].index_type],
+                    -i,
+                ),
+            )
+        ]
+        chosen: list[IndexRecord] = []
+        covered: set[str] = set()
+        for record in ordered:
+            useful = (set(record.covered_files) & snap_paths) - covered
+            if useful:
+                chosen.append(record)
+                covered |= useful
+        return chosen, snap_paths - covered
+
+    # -- exact (UUID / substring / regex) ------------------------------
+    def _search_exact(
+        self,
+        column: str,
+        query: Query,
+        k: int,
+        snap: Snapshot,
+        snap_paths: set[str],
+        chosen: list[IndexRecord],
+        uncovered: set[str],
+        stats: SearchStats,
+    ) -> list[SearchMatch]:
+        candidate_pages: list[PageEntry] = []
+        seen_pages: set[tuple[str, int]] = set()
+        index_trace = RequestTrace()
+        for record in chosen:
+            trace = self._query_one_exact(
+                record, query, snap_paths, candidate_pages, seen_pages
+            )
+            # Index files are queried in parallel with each other...
+            index_trace = index_trace.merge_parallel(trace)
+        # ...but strictly after the plan phase.
+        stats.trace = stats.trace.then(index_trace)
+        stats.candidates = len(candidate_pages)
+
+        # In-situ probing: one parallel round of page reads, then verify
+        # the real predicate row by row and apply deletion vectors.
+        self.store.start_trace()
+        field = snap.schema.field(column)
+        matches: list[SearchMatch] = []
+        verified_rows = 0
+        for entry in candidate_pages:
+            try:
+                row_start, values = read_page(self.store, field, entry)
+            except ObjectStoreError as exc:
+                _raise_unmaterialized(snap, entry.file_key, exc)
+            stats.pages_probed += 1
+            dv = self.lake.deletion_vector(snap, entry.file_key)
+            page_hit = False
+            for i, value in enumerate(values):
+                row = row_start + i
+                if row in dv or not query.matches(value):
+                    continue
+                page_hit = True
+                verified_rows += 1
+                matches.append(
+                    SearchMatch(file=entry.file_key, row=row, value=value)
+                )
+            if not page_hit:
+                stats.false_positives += 1
+            if len(matches) >= k:
+                break
+        # Probing depends on index results; sequential after them.
+        stats.trace = stats.trace.then(self.store.stop_trace())
+
+        # Brute-force the uncovered files only if K is not yet satisfied
+        # (paper §IV-B step 3).
+        if len(matches) < k and uncovered:
+            self.store.start_trace()
+            for path in sorted(uncovered):
+                stats.files_brute_forced += 1
+                matches.extend(
+                    self._brute_force_exact(column, query, snap, path, k - len(matches))
+                )
+                if len(matches) >= k:
+                    break
+            stats.trace = stats.trace.then(self.store.stop_trace())
+        return matches[:k]
+
+    def _query_one_exact(
+        self,
+        record: IndexRecord,
+        query: Query,
+        snap_paths: set[str],
+        candidate_pages: list[PageEntry],
+        seen_pages: set[tuple[str, int]],
+    ) -> RequestTrace:
+        """Query one index file; traces are kept separate so parallel
+        index queries do not serialize in the latency estimate."""
+        self.store.start_trace()
+        try:
+            reader = IndexFileReader.open(self.store, record.index_key)
+            querier = querier_for(record.index_type)(reader)
+            assert isinstance(querier, ExactQuerier)
+            key = _exact_key(query)
+            gids = querier.candidate_pages(key)
+            directory = reader.directory
+            for gid in gids:
+                entry = directory.locate(gid)
+                if entry.file_key not in snap_paths:
+                    continue  # stale location (file compacted away)
+                page_key = (entry.file_key, entry.page_id)
+                if page_key not in seen_pages:
+                    seen_pages.add(page_key)
+                    candidate_pages.append(entry)
+        finally:
+            trace = self.store.stop_trace()
+        return trace
+
+    def _brute_force_exact(
+        self,
+        column: str,
+        query: Query,
+        snap: Snapshot,
+        path: str,
+        needed: int,
+    ) -> list[SearchMatch]:
+        dv = self.lake.deletion_vector(snap, path)
+        reader = self._open_data_file(snap, path)
+        out: list[SearchMatch] = []
+        for row, value in reader.scan_column(column):
+            if row in dv or not query.matches(value):
+                continue
+            out.append(SearchMatch(file=path, row=row, value=value))
+            if len(out) >= needed:
+                break
+        return out
+
+    # -- scoring (vector) ------------------------------------------------
+    def _search_scoring(
+        self,
+        column: str,
+        query: VectorQuery,
+        k: int,
+        snap: Snapshot,
+        snap_paths: set[str],
+        chosen: list[IndexRecord],
+        uncovered: set[str],
+        stats: SearchStats,
+    ) -> list[SearchMatch]:
+        candidates: list[tuple[PageEntry, int, float]] = []
+        index_trace = RequestTrace()
+        for record in chosen:
+            self.store.start_trace()
+            try:
+                reader = IndexFileReader.open(self.store, record.index_key)
+                querier = querier_for(record.index_type)(reader)
+                assert isinstance(querier, ScoringQuerier)
+                found = querier.candidates(
+                    query.vector, nprobe=query.nprobe, limit=query.refine
+                )
+                directory = reader.directory
+                for cand in found:
+                    entry = directory.locate(cand.gid)
+                    if entry.file_key in snap_paths:
+                        candidates.append((entry, cand.offset, cand.score))
+            finally:
+                trace = self.store.stop_trace()
+            index_trace = index_trace.merge_parallel(trace)
+        stats.trace = stats.trace.then(index_trace)
+        # Keep the globally best `refine` PQ candidates across indices.
+        candidates.sort(key=lambda c: c[2])
+        candidates = candidates[: query.refine]
+        stats.candidates = len(candidates)
+
+        # Refine: read candidate pages, compute exact distances.
+        self.store.start_trace()
+        field = snap.schema.field(column)
+        by_page: dict[tuple[str, int], list[int]] = {}
+        entries: dict[tuple[str, int], PageEntry] = {}
+        for entry, offset, _ in candidates:
+            page_key = (entry.file_key, entry.page_id)
+            by_page.setdefault(page_key, []).append(offset)
+            entries[page_key] = entry
+        scored: list[SearchMatch] = []
+        for page_key, offsets in by_page.items():
+            entry = entries[page_key]
+            try:
+                row_start, values = read_page(self.store, field, entry)
+            except ObjectStoreError as exc:
+                _raise_unmaterialized(snap, entry.file_key, exc)
+            stats.pages_probed += 1
+            dv = self.lake.deletion_vector(snap, entry.file_key)
+            for offset in set(offsets):
+                row = row_start + offset
+                if row in dv:
+                    continue
+                value = values[offset]
+                scored.append(
+                    SearchMatch(
+                        file=entry.file_key,
+                        row=row,
+                        value=value,
+                        score=query.distance(value),
+                    )
+                )
+        # Scoring queries must rank *all* data: unindexed files are
+        # scanned exhaustively (paper §IV-B step 3).
+        for path in sorted(uncovered):
+            stats.files_brute_forced += 1
+            dv = self.lake.deletion_vector(snap, path)
+            reader = self._open_data_file(snap, path)
+            for row, value in reader.scan_column(column):
+                if row in dv:
+                    continue
+                scored.append(
+                    SearchMatch(
+                        file=path, row=row, value=value, score=query.distance(value)
+                    )
+                )
+        stats.trace = stats.trace.then(self.store.stop_trace())
+        scored.sort(key=lambda m: m.score)
+        return scored[:k]
+
+
+def _count_overlapping(haystack: str, needle: str) -> int:
+    count = start = 0
+    while True:
+        start = haystack.find(needle, start)
+        if start < 0:
+            return count
+        count += 1
+        start += 1
+
+
+def _raise_unmaterialized(snap: Snapshot, path: str, exc: Exception):
+    raise SnapshotNotFound(
+        f"data file {path!r} of snapshot v{snap.version} is no longer "
+        f"materialized (removed by a lake vacuum); search a newer snapshot"
+    ) from exc
+
+
+def _exact_key(query: Query):
+    if hasattr(query, "index_probe"):
+        return query.index_probe()
+    raise RottnestIndexError(f"query {query!r} cannot probe an index")
+
+
+def _iter_page_values(reader: ParquetFile, table: PageTable, column: str):
+    """Yield each page's values in page-table order.
+
+    Index builds stream whole files, so chunk-granularity reads are the
+    right access width; the chunks are then re-sliced along the page
+    boundaries the index will point at.
+    """
+    all_values: list = []
+    vector_chunks: list[np.ndarray] = []
+    for rg_index in range(len(reader.metadata.row_groups)):
+        values = reader.read_column_chunk(rg_index, column)
+        if isinstance(values, np.ndarray):
+            vector_chunks.append(values)
+        else:
+            all_values.extend(values)
+    column_values = (
+        np.concatenate(vector_chunks) if vector_chunks else all_values
+    )
+    for entry in table.entries:
+        yield column_values[entry.row_start : entry.row_start + entry.num_values]

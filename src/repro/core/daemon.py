@@ -1,0 +1,146 @@
+"""Maintenance daemon: policy-driven index / compact / vacuum.
+
+The paper's APIs are deliberately manual — "can be called from any VM
+instance or serverless function" — and in production someone schedules
+them. This module is that someone: a :class:`MaintenancePolicy` says
+*when* each operation is due, and :class:`MaintenanceDaemon.tick` runs
+whatever is due against the store's clock. Driving ticks from a cron
+job (or, in tests, from a :class:`~repro.util.clock.SimClock`) yields
+the paper's deployment story without any resident process state — the
+daemon can crash and restart anywhere, because all its inputs come from
+the metadata table and the lake log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IndexAborted
+from repro.core.client import RottnestClient
+from repro.core.maintenance import (
+    VacuumReport,
+    compact_indices,
+    covering_records,
+    vacuum_indices,
+)
+from repro.meta.metadata_table import IndexRecord
+
+
+@dataclass(frozen=True)
+class MaintenancePolicy:
+    """When is each maintenance operation worth running?"""
+
+    index_min_new_files: int = 1
+    """Run ``index`` when at least this many uncovered files exist."""
+
+    index_min_new_bytes: int = 0
+    """...and they total at least this many bytes."""
+
+    compact_min_small_files: int = 4
+    """Run ``compact`` when this many sub-threshold index files exist."""
+
+    compact_threshold_bytes: int = 16 * 1024 * 1024
+
+    vacuum_interval_s: float = 7 * 24 * 3600.0
+    """Run ``vacuum`` at most this often (it LISTs the bucket)."""
+
+    retain_snapshots: int = 1
+    """Vacuum keeps indices for the last N lake snapshots."""
+
+
+@dataclass
+class TickReport:
+    """What one daemon tick did."""
+
+    indexed: list[IndexRecord] = field(default_factory=list)
+    index_aborts: list[str] = field(default_factory=list)
+    compacted: list[IndexRecord] = field(default_factory=list)
+    vacuum: VacuumReport | None = None
+
+    @property
+    def idle(self) -> bool:
+        return (
+            not self.indexed
+            and not self.index_aborts
+            and not self.compacted
+            and self.vacuum is None
+        )
+
+
+class MaintenanceDaemon:
+    """Runs due maintenance for a set of (column, index type) targets."""
+
+    def __init__(
+        self,
+        client: RottnestClient,
+        targets: list[tuple[str, str]],
+        *,
+        policy: MaintenancePolicy | None = None,
+        index_params: dict[tuple[str, str], dict] | None = None,
+    ) -> None:
+        self.client = client
+        self.targets = list(targets)
+        self.policy = policy or MaintenancePolicy()
+        self.index_params = dict(index_params or {})
+        self._last_vacuum: float | None = None
+
+    # -- due? ---------------------------------------------------------
+    def index_due(self, column: str, index_type: str) -> bool:
+        snap = self.client.lake.snapshot()
+        covered = self.client.meta.indexed_files(column, index_type)
+        new = [f for f in snap.files if f.path not in covered]
+        if len(new) < self.policy.index_min_new_files:
+            return False
+        return sum(f.size for f in new) >= self.policy.index_min_new_bytes
+
+    def compact_due(self, column: str, index_type: str) -> bool:
+        small = [
+            r
+            for r in covering_records(self.client, column, index_type)
+            if r.size < self.policy.compact_threshold_bytes
+        ]
+        return len(small) >= self.policy.compact_min_small_files
+
+    def vacuum_due(self) -> bool:
+        now = self.client.store.clock.now()
+        if self._last_vacuum is None:
+            return True
+        return now - self._last_vacuum >= self.policy.vacuum_interval_s
+
+    # -- act ------------------------------------------------------------
+    def tick(self) -> TickReport:
+        """Run everything currently due; returns what happened.
+
+        Index aborts (e.g. too few rows for a vector index yet) are
+        recorded, not raised — the data stays brute-force searchable and
+        a later tick retries.
+        """
+        report = TickReport()
+        for column, index_type in self.targets:
+            if self.index_due(column, index_type):
+                try:
+                    record = self.client.index(
+                        column,
+                        index_type,
+                        params=self.index_params.get((column, index_type)),
+                    )
+                except IndexAborted as exc:
+                    report.index_aborts.append(f"{column}/{index_type}: {exc}")
+                else:
+                    if record is not None:
+                        report.indexed.append(record)
+            if self.compact_due(column, index_type):
+                report.compacted.extend(
+                    compact_indices(
+                        self.client,
+                        column,
+                        index_type,
+                        threshold_bytes=self.policy.compact_threshold_bytes,
+                    )
+                )
+        if self.vacuum_due():
+            latest = self.client.lake.latest_version()
+            snapshot_id = max(0, latest - self.policy.retain_snapshots + 1)
+            report.vacuum = vacuum_indices(self.client, snapshot_id=snapshot_id)
+            self._last_vacuum = self.client.store.clock.now()
+        return report

@@ -1,0 +1,203 @@
+"""Rottnest index file: page directory + componentized index payload.
+
+Every index file records, for each Parquet file it covers, the *page
+table* of the indexed column (offsets/sizes/row ranges of every data
+page — §V-A). Pages across all covered files get dense **global page
+ids**: file 0's pages come first, then file 1's, and so on. Index
+posting lists speak global page ids; the page directory converts them
+back into ``(file, byte-range)`` for in-situ probing.
+
+Component 0 of every index file is the serialized page directory; the
+type-specific components follow and are addressed by *name* through the
+``components`` map in the JSON header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FormatError
+from repro.formats.page_reader import PageEntry, PageTable
+from repro.core.componentize import ComponentFileReader, ComponentFileWriter
+from repro.storage.object_store import ObjectStore
+from repro.util.binio import BinaryReader, BinaryWriter
+
+FORMAT_VERSION = 1
+
+
+class PageDirectory:
+    """Maps global page ids to concrete pages of covered files."""
+
+    def __init__(self, tables: list[PageTable]) -> None:
+        self.tables = tables
+        self._bases: list[int] = []
+        base = 0
+        for table in tables:
+            self._bases.append(base)
+            base += len(table)
+        self._num_pages = base
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    @property
+    def file_keys(self) -> list[str]:
+        return [t.file_key for t in self.tables]
+
+    @property
+    def num_rows(self) -> int:
+        return sum(t.num_rows for t in self.tables)
+
+    def base_of(self, file_index: int) -> int:
+        return self._bases[file_index]
+
+    def locate(self, gid: int) -> PageEntry:
+        """Global page id -> the page's entry (with its file key)."""
+        if not 0 <= gid < self._num_pages:
+            raise FormatError(f"global page id {gid} out of range")
+        # Binary search over bases.
+        lo, hi = 0, len(self._bases) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._bases[mid] <= gid:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.tables[lo].entry(gid - self._bases[lo])
+
+    def table_of(self, gid: int) -> PageTable:
+        lo, hi = 0, len(self._bases) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._bases[mid] <= gid:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.tables[lo]
+
+    def serialize(self) -> bytes:
+        writer = BinaryWriter()
+        writer.write_uvarint(len(self.tables))
+        for table in self.tables:
+            table.serialize(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "PageDirectory":
+        reader = BinaryReader(data)
+        count = reader.read_uvarint()
+        return cls([PageTable.deserialize(reader) for _ in range(count)])
+
+    @classmethod
+    def concat(cls, parts: list["PageDirectory"]) -> "PageDirectory":
+        """Directory of a merged index: parts in order, gids shifted."""
+        tables: list[PageTable] = []
+        for part in parts:
+            tables.extend(part.tables)
+        return cls(tables)
+
+
+class IndexFileWriter:
+    """Assembles one index file."""
+
+    def __init__(
+        self,
+        index_type: str,
+        column: str,
+        directory: PageDirectory,
+        *,
+        params: dict | None = None,
+        codec: str = "zlib",
+    ) -> None:
+        self.index_type = index_type
+        self.column = column
+        self.directory = directory
+        self.params = dict(params or {})
+        self._writer = ComponentFileWriter(codec)
+        first = self._writer.add(directory.serialize())
+        self._names: dict[str, int] = {"__pages__": first}
+
+    def add_component(self, name: str, data: bytes, *, compress: bool = True) -> int:
+        if name in self._names:
+            raise FormatError(f"duplicate component name {name!r}")
+        cid = self._writer.add(data, compress=compress)
+        self._names[name] = cid
+        return cid
+
+    def finish(self) -> bytes:
+        header = {
+            "format": FORMAT_VERSION,
+            "index_type": self.index_type,
+            "column": self.column,
+            "covered_files": self.directory.file_keys,
+            "num_rows": self.directory.num_rows,
+            "params": self.params,
+            "components": self._names,
+        }
+        return self._writer.finish(header)
+
+
+class IndexFileReader:
+    """Opens an index file and exposes named components on demand."""
+
+    def __init__(self, reader: ComponentFileReader) -> None:
+        self._reader = reader
+        header = reader.header
+        if header.get("format") != FORMAT_VERSION:
+            raise FormatError(
+                f"unsupported index format {header.get('format')!r} in "
+                f"{reader.key!r}"
+            )
+        self.index_type: str = header["index_type"]
+        self.column: str = header["column"]
+        self.covered_files: list[str] = header["covered_files"]
+        self.num_rows: int = header["num_rows"]
+        self.params: dict = header["params"]
+        self._names: dict[str, int] = header["components"]
+        self._directory: PageDirectory | None = None
+
+    @classmethod
+    def open(cls, store: ObjectStore, key: str) -> "IndexFileReader":
+        return cls(ComponentFileReader.open(store, key))
+
+    @property
+    def key(self) -> str:
+        return self._reader.key
+
+    @property
+    def store(self) -> ObjectStore:
+        return self._reader.store
+
+    @property
+    def size(self) -> int:
+        return self._reader.size
+
+    def component_names(self) -> list[str]:
+        return sorted(self._names)
+
+    def has_component(self, name: str) -> bool:
+        return name in self._names
+
+    def component(self, name: str) -> bytes:
+        try:
+            cid = self._names[name]
+        except KeyError:
+            raise FormatError(
+                f"no component {name!r} in {self._reader.key!r}"
+            ) from None
+        return self._reader.read(cid)
+
+    def components(self, names: list[str]) -> list[bytes]:
+        """Fetch several components as one parallel round."""
+        return self._reader.read_many([self._names[n] for n in names])
+
+    def barrier(self) -> None:
+        """Dependency point between component reads (latency tracing)."""
+        self._reader.store.barrier()
+
+    @property
+    def directory(self) -> PageDirectory:
+        if self._directory is None:
+            self._directory = PageDirectory.deserialize(self.component("__pages__"))
+        return self._directory

@@ -1,0 +1,240 @@
+"""Index maintenance: ``compact`` and ``vacuum`` (paper §IV-C).
+
+Compaction merges many small index files into fewer large ones —
+Rottnest's LSM-style answer to search latency growing with the number
+of index files (Fig. 13). It never deletes anything; vacuum does, and
+only after its commit, keeping the Existence invariant: everything the
+metadata table references must be physically present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RottnestIndexError
+from repro.core.client import RottnestClient, _iter_page_values
+from repro.core.index_file import IndexFileReader, IndexFileWriter, PageDirectory
+from repro.formats.page_reader import build_page_table
+from repro.formats.reader import ParquetFile
+from repro.indices.base import builder_for
+from repro.meta.metadata_table import IndexRecord
+
+DEFAULT_COMPACT_THRESHOLD_BYTES = 16 * 1024 * 1024
+DEFAULT_COMPACT_TARGET_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class VacuumReport:
+    """What one vacuum pass did."""
+
+    kept: list[str]
+    deleted_records: list[str]
+    deleted_objects: list[str]
+
+
+def covering_records(
+    client: RottnestClient, column: str, index_type: str
+) -> list[IndexRecord]:
+    """The index records a search of the latest snapshot would use:
+    newest-first greedy cover over the snapshot's files."""
+    all_records = [
+        r
+        for r in client.meta.records()
+        if r.column == column and r.index_type == index_type
+    ]
+    snap_paths = set(client.lake.snapshot().file_paths)
+    ordered = [
+        all_records[i]
+        for i in sorted(
+            range(len(all_records)),
+            key=lambda i: (-all_records[i].created_at, -i),
+        )
+    ]
+    covering: list[IndexRecord] = []
+    covered: set[str] = set()
+    for record in ordered:
+        useful = (set(record.covered_files) & snap_paths) - covered
+        if useful:
+            covering.append(record)
+            covered |= useful
+    return covering
+
+
+def compact_indices(
+    client: RottnestClient,
+    column: str,
+    index_type: str,
+    *,
+    threshold_bytes: int = DEFAULT_COMPACT_THRESHOLD_BYTES,
+    target_bytes: int = DEFAULT_COMPACT_TARGET_BYTES,
+) -> list[IndexRecord]:
+    """Merge small index files on ``column`` into larger ones.
+
+    Plan: bin-pack index files smaller than ``threshold_bytes`` into
+    groups of up to ``target_bytes``. Merge: rebuild from raw Parquet
+    pages when every covered file still exists (most faithful; §IV-C
+    explicitly permits reading raw files), falling back to the index
+    type's native merge otherwise. Commit: insert merged records. Old
+    records/files stay until :func:`vacuum_indices`, exactly like data
+    lake compaction.
+    """
+    # Plan over the *covering set* only — the same newest-first greedy
+    # search uses. Records subsumed by a newer (e.g. already-compacted)
+    # index, or covering no file of the current snapshot, are vacuum
+    # fodder and must not be re-merged: that would produce an index
+    # covering the same Parquet file twice.
+    covering = covering_records(client, column, index_type)
+    records = [r for r in covering if r.size < threshold_bytes]
+    if len(records) < 2:
+        return []
+    records.sort(key=lambda r: r.created_at)
+    groups: list[list[IndexRecord]] = [[]]
+    group_bytes = 0
+    for record in records:
+        if groups[-1] and group_bytes + record.size > target_bytes:
+            groups.append([])
+            group_bytes = 0
+        groups[-1].append(record)
+        group_bytes += record.size
+
+    merged_records: list[IndexRecord] = []
+    for group in groups:
+        if len(group) < 2:
+            continue
+        merged_records.append(_merge_group(client, column, index_type, group))
+    if merged_records:
+        client.meta.insert(merged_records)
+    return merged_records
+
+
+def _merge_group(
+    client: RottnestClient,
+    column: str,
+    index_type: str,
+    group: list[IndexRecord],
+) -> IndexRecord:
+    builder_cls = builder_for(index_type)
+    covered: list[str] = []
+    for record in group:
+        covered.extend(record.covered_files)
+    if len(set(covered)) != len(covered):
+        raise RottnestIndexError(
+            "compaction group covers a Parquet file twice; vacuum first"
+        )
+
+    raw_ok = getattr(builder_cls, "prefers_raw_rebuild", False) and all(
+        client.store.exists(path) for path in covered
+    )
+    if raw_ok:
+        # Rebuild from raw pages: read every covered file again.
+        tables = []
+        page_stream = []
+        gid = 0
+        for path in covered:
+            reader = ParquetFile(client.store, path)
+            table = build_page_table(reader.metadata, path, column)
+            tables.append(table)
+            for values in _iter_page_values(reader, table, column):
+                page_stream.append((gid, values))
+                gid += 1
+        merged = builder_cls.build(page_stream)
+        directory = PageDirectory(tables)
+    else:
+        # Native merge from the index files alone.
+        parts = []
+        directories = []
+        for record in group:
+            reader = IndexFileReader.open(client.store, record.index_key)
+            parts.append(builder_cls.load(reader))
+            directories.append(reader.directory)
+        offsets = []
+        base = 0
+        for directory in directories:
+            offsets.append(base)
+            base += directory.num_pages
+        merged = builder_cls.merge(parts, offsets)
+        directory = PageDirectory.concat(directories)
+
+    writer = IndexFileWriter(
+        index_type, column, directory, codec=client.codec
+    )
+    merged.write(writer)
+    blob = writer.finish()
+    key = client.new_index_key(blob)
+    client.store.put(key, blob)
+    return IndexRecord(
+        index_key=key,
+        index_type=index_type,
+        column=column,
+        covered_files=tuple(covered),
+        num_rows=sum(r.num_rows for r in group),
+        size=len(blob),
+        created_at=client.store.clock.now(),
+    )
+
+
+def vacuum_indices(client: RottnestClient, *, snapshot_id: int) -> VacuumReport:
+    """Garbage-collect index files (paper §IV-C ``vacuum``).
+
+    Plan: greedily keep the index files that cover the most Parquet
+    files active in any snapshot >= ``snapshot_id``; stop when coverage
+    cannot grow. Commit: delete the other records from the metadata
+    table. Remove: physically delete index files that are absent from
+    the metadata table *and* older than the index timeout — younger
+    unreferenced files may belong to an in-flight indexer, which is
+    guaranteed to either commit or abort within the timeout.
+    """
+    active = client.lake.files_since(snapshot_id)
+    records = client.meta.records()
+
+    # Coverage is per logical index: an FM index on "text" covering a
+    # file says nothing about the trie on "uuid".
+    groups: dict[tuple[str, str], list[IndexRecord]] = {}
+    for record in records:
+        groups.setdefault((record.column, record.index_type), []).append(record)
+
+    kept: list[IndexRecord] = []
+    for group in groups.values():
+        # Enumerate so equal-gain ties prefer newer records (higher
+        # insertion index): compaction products over their inputs.
+        remaining = list(enumerate(group))
+        covered: set[str] = set()
+        while remaining:
+            position, best = max(
+                remaining,
+                key=lambda item: (
+                    len((set(item[1].covered_files) & active) - covered),
+                    item[1].created_at,
+                    item[0],
+                ),
+            )
+            gain = len((set(best.covered_files) & active) - covered)
+            if gain == 0:
+                break
+            kept.append(best)
+            covered |= set(best.covered_files) & active
+            remaining.remove((position, best))
+
+    kept_keys = {r.index_key for r in kept}
+    to_delete = [r.index_key for r in records if r.index_key not in kept_keys]
+    if to_delete:
+        client.meta.delete(to_delete)
+
+    # Physical removal comes strictly after the metadata commit so the
+    # Existence invariant never observes a dangling reference.
+    live = {r.index_key for r in client.meta.records()}
+    cutoff = client.store.clock.now() - client.index_timeout_s
+    deleted_objects: list[str] = []
+    prefix = f"{client.index_dir}/files/"
+    for info in client.store.list(prefix):
+        if info.key in live:
+            continue
+        if info.mtime > cutoff:
+            continue  # possibly an in-flight indexer's upload
+        client.store.delete(info.key)
+        deleted_objects.append(info.key)
+    return VacuumReport(
+        kept=[r.index_key for r in kept],
+        deleted_records=to_delete,
+        deleted_objects=deleted_objects,
+    )

@@ -1,0 +1,20 @@
+"""Baseline engines: brute-force scanning and copy-data systems."""
+
+from repro.engines.bruteforce import BruteForceEngine, BruteForceModel
+from repro.engines.dedicated import (
+    LANCEDB_MODEL,
+    OPENSEARCH_MODEL,
+    DedicatedModel,
+    DedicatedSearchSystem,
+    lance_cold_latency,
+)
+
+__all__ = [
+    "BruteForceEngine",
+    "BruteForceModel",
+    "DedicatedModel",
+    "DedicatedSearchSystem",
+    "OPENSEARCH_MODEL",
+    "LANCEDB_MODEL",
+    "lance_cold_latency",
+]

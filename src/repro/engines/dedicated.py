@@ -1,0 +1,157 @@
+"""Copy-data baselines: always-on dedicated search systems.
+
+The paper copies data into AWS OpenSearch (substring / UUID search; 3 x
+r6g.large with 3x-replicated EBS) or LanceDB (vector search; 3 x
+r6g.xlarge with the index cached in memory). For the TCO framework all
+their per-query and indexing costs fold into a constant monthly cluster
+cost (§VI); queries are served from RAM/SSD in tens of milliseconds.
+
+The functional implementations here hold the copied data in memory so
+results can be cross-checked against Rottnest, and
+:func:`lance_cold_latency` models the §VII-C "LanceDB cold cache"
+configuration — a custom format reading *exact* vector bytes from S3 —
+which the paper uses to show that in-situ Parquet probing at ~300 KB
+page granularity is just as fast (both sit in the latency-bound regime
+of Fig. 10a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.client import SearchMatch
+from repro.core.queries import Query
+from repro.lake.table import LakeTable
+from repro.storage.costs import GB, CostModel
+from repro.storage.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class DedicatedModel:
+    """Monthly cost model of an always-on cluster."""
+
+    instance_type: str = "r6g.large"
+    instance_count: int = 3
+    replication: int = 3
+    storage_expansion: float = 1.6
+    """Stored bytes per raw byte: dedicated indices (inverted index,
+    doc store) are typically larger than the compressed source."""
+
+    query_latency_s: float = 0.030
+    """Served from RAM/SSD; effectively constant for the TCO model."""
+
+    def monthly_cost(self, raw_bytes: int, costs: CostModel | None = None) -> float:
+        costs = costs or CostModel()
+        compute = (
+            costs.instance_hourly(self.instance_type) * 730.0 * self.instance_count
+        )
+        stored = raw_bytes * self.storage_expansion * self.replication
+        storage = (stored / GB) * costs.opensearch_ebs_per_gb_month
+        return compute + storage
+
+
+#: The paper's configurations.
+OPENSEARCH_MODEL = DedicatedModel(instance_type="r6g.large")
+LANCEDB_MODEL = DedicatedModel(
+    instance_type="r6g.xlarge",
+    # LanceDB keeps data in S3; only the ANN index lives on the nodes.
+    storage_expansion=0.3,
+)
+
+
+class DedicatedSearchSystem:
+    """Functional copy-data system: ingest once, search from memory."""
+
+    def __init__(self, model: DedicatedModel | None = None) -> None:
+        self.model = model or OPENSEARCH_MODEL
+        self._rows: list[tuple[str, int, object]] = []
+        self._by_key: dict[bytes, list[int]] = {}
+        self._vectors: np.ndarray | None = None
+        self.ingested_bytes = 0
+
+    def ingest(self, lake: LakeTable, column: str) -> int:
+        """Copy a column out of the lake (the ETL step of Fig. 1).
+
+        Returns the number of rows copied. Re-ingesting replaces the
+        copy (the staleness problem the paper attributes to this
+        architecture is real: queries see the copy, not the lake).
+        """
+        self._rows = []
+        self._by_key = {}
+        vectors = []
+        snap = lake.snapshot()
+        self.ingested_bytes = snap.total_bytes
+        for path, row, value in lake.scan(column, snap):
+            position = len(self._rows)
+            self._rows.append((path, row, value))
+            if isinstance(value, (bytes, bytearray)):
+                self._by_key.setdefault(bytes(value), []).append(position)
+            elif isinstance(value, np.ndarray):
+                vectors.append(value)
+        if vectors:
+            self._vectors = np.vstack(vectors).astype(np.float32)
+        return len(self._rows)
+
+    def search(self, query: Query, k: int = 10) -> list[SearchMatch]:
+        """In-memory search over the ingested copy."""
+        if query.scoring:
+            return self._search_vector(query, k)
+        if hasattr(query, "key") and self._by_key:
+            positions = self._by_key.get(bytes(query.key), [])[:k]
+            return [
+                SearchMatch(file=f, row=r, value=v)
+                for f, r, v in (self._rows[p] for p in positions)
+            ]
+        matches = []
+        for path, row, value in self._rows:
+            if query.matches(value):
+                matches.append(SearchMatch(file=path, row=row, value=value))
+                if len(matches) >= k:
+                    break
+        return matches
+
+    def _search_vector(self, query, k: int) -> list[SearchMatch]:
+        if self._vectors is None:
+            return []
+        diffs = self._vectors - query.vector
+        distances = np.einsum("ij,ij->i", diffs, diffs)
+        order = np.argsort(distances)[:k]
+        out = []
+        for i in order:
+            path, row, value = self._rows[int(i)]
+            out.append(
+                SearchMatch(
+                    file=path, row=row, value=value, score=float(distances[i])
+                )
+            )
+        return out
+
+    def monthly_cost(self, costs: CostModel | None = None) -> float:
+        return self.model.monthly_cost(self.ingested_bytes, costs)
+
+
+def lance_cold_latency(
+    *,
+    nprobe: int,
+    refine: int,
+    list_bytes: int,
+    vector_nbytes: int = 512,
+    model: LatencyModel | None = None,
+) -> float:
+    """Modeled latency of LanceDB cold-cache mode (§VII-C).
+
+    Same three dependent rounds as Rottnest's vector search — coarse
+    centroids, probed lists, candidate fetch — but the final round reads
+    *exact* full-precision vectors (0.1–4 KB) instead of ~300 KB Parquet
+    pages. Figure 10a's flat-below-1MB latency curve is why this barely
+    helps, which is the paper's §VII-C argument.
+    """
+    model = model or LatencyModel()
+    rounds = [
+        [64 * 1024],  # centroid / root component
+        [list_bytes] * nprobe,  # probed inverted lists
+        [vector_nbytes] * refine,  # exact candidate vectors
+    ]
+    return sum(model.round_latency(sizes) for sizes in rounds)

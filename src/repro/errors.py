@@ -1,0 +1,84 @@
+"""Exception hierarchy for the Rottnest reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subsystems raise the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ObjectStoreError(ReproError):
+    """Base class for object-store failures."""
+
+
+class ObjectNotFound(ObjectStoreError):
+    """The requested key does not exist in the store."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"object not found: {key!r}")
+        self.key = key
+
+
+class PreconditionFailed(ObjectStoreError):
+    """A conditional PUT (if-none-match) lost the race: the key exists."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"precondition failed, key exists: {key!r}")
+        self.key = key
+
+
+class InvalidByteRange(ObjectStoreError):
+    """A byte-range GET asked for bytes outside the object."""
+
+
+class InjectedFault(ObjectStoreError):
+    """Raised by the fault-injection wrapper to simulate infrastructure
+    failures (used by tests and the protocol crash-safety suite)."""
+
+
+class FormatError(ReproError):
+    """Malformed file in the columnar format layer."""
+
+
+class LakeError(ReproError):
+    """Base class for data-lake failures."""
+
+
+class CommitConflict(LakeError):
+    """Optimistic commit lost: another writer committed the same version."""
+
+
+class SnapshotNotFound(LakeError):
+    """The requested snapshot version does not exist."""
+
+
+class ColumnNotFound(LakeError):
+    """The requested column is not part of the table schema."""
+
+
+class IndexError_(ReproError):
+    """Base class for index build/query failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``; exported as ``RottnestIndexError`` from the package.
+    """
+
+
+class IndexAborted(IndexError_):
+    """An ``index`` call aborted (timeout, vanished input file, or the
+    new data fell below the index type's minimum size)."""
+
+
+class UnknownIndexType(IndexError_):
+    """The metadata table references an index type that is not registered."""
+
+
+class TCOError(ReproError):
+    """Invalid input to the TCO / phase-diagram framework."""
+
+
+RottnestIndexError = IndexError_

@@ -1,0 +1,109 @@
+"""Traditional Parquet reader: column-chunk granularity.
+
+This mirrors how open-source readers behave on object storage (paper
+Fig. 5, left): open the footer first, then fetch *entire column chunks*
+even when only a handful of rows are needed. It is the baseline against
+which the page-granular reader in :mod:`repro.formats.page_reader` is an
+ablation (Fig. 11: "no custom reader").
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormatError
+from repro.formats.parquet import MAGIC, ColumnChunkMeta, FileMetadata, parse_footer
+from repro.formats.pages import decode_page
+from repro.formats.schema import Field
+from repro.storage.object_store import ObjectStore
+
+#: Suffix readers speculatively fetch hoping it contains the footer.
+FOOTER_SPECULATIVE_BYTES = 64 * 1024
+
+
+class ParquetFile:
+    """A reader handle over one file in an object store.
+
+    Opening costs one HEAD plus one (usually single) ranged GET for the
+    footer; column-chunk reads cost one ranged GET each.
+    """
+
+    def __init__(self, store: ObjectStore, key: str) -> None:
+        self.store = store
+        self.key = key
+        self._size = store.head(key).size
+        self.metadata = self._read_footer()
+
+    def _read_footer(self) -> FileMetadata:
+        tail_len = min(FOOTER_SPECULATIVE_BYTES, self._size)
+        tail = self.store.get(self.key, (self._size - tail_len, tail_len))
+        if tail[-4:] != MAGIC:
+            raise FormatError(f"{self.key!r} is not a columnar file (bad magic)")
+        footer_len = int.from_bytes(tail[-8:-4], "little")
+        frame = footer_len + 8
+        if frame > self._size:
+            raise FormatError(f"{self.key!r}: footer length {footer_len} too large")
+        if frame <= tail_len:
+            footer = tail[-frame:-8]
+        else:
+            # Footer did not fit in the speculative read; fetch exactly.
+            self.store.barrier()
+            footer = self.store.get(self.key, (self._size - frame, footer_len))
+        return parse_footer(footer)
+
+    @property
+    def schema(self):
+        return self.metadata.schema
+
+    @property
+    def num_rows(self) -> int:
+        return self.metadata.num_rows
+
+    def _field(self, column: str) -> Field:
+        return self.metadata.schema.field(column)
+
+    def read_column_chunk(self, rg_index: int, column: str):
+        """Read one row group's chunk of ``column`` with a single GET."""
+        rg = self.metadata.row_groups[rg_index]
+        chunk = rg.chunk(column)
+        return self._decode_chunk(chunk)
+
+    def _decode_chunk(self, chunk: ColumnChunkMeta):
+        field = self._field(chunk.column)
+        start = chunk.start_offset
+        blob = self.store.get(self.key, (start, chunk.total_compressed_size))
+        values = []
+        for page in chunk.pages:
+            page_bytes = blob[page.offset - start : page.offset - start + page.compressed_size]
+            values.extend(decode_page(field, page_bytes, chunk.codec, page.num_values))
+        return values
+
+    def scan_column(self, column: str):
+        """Yield ``(row_index, value)`` for every row, chunk by chunk."""
+        for rg_index, rg in enumerate(self.metadata.row_groups):
+            self.store.barrier()
+            values = self.read_column_chunk(rg_index, column)
+            for i, value in enumerate(values):
+                yield rg.first_row + i, value
+
+    def read_rows(self, column: str, row_indices: list[int]):
+        """Fetch specific rows the *traditional* way: whole chunks.
+
+        Returns ``{row_index: value}``. Chunks containing none of the
+        requested rows are skipped (that much predicate pushdown real
+        readers do get from the footer).
+        """
+        wanted = sorted(set(row_indices))
+        if not wanted:
+            return {}
+        out = {}
+        for rg_index, rg in enumerate(self.metadata.row_groups):
+            lo, hi = rg.first_row, rg.first_row + rg.num_rows
+            in_group = [r for r in wanted if lo <= r < hi]
+            if not in_group:
+                continue
+            values = self.read_column_chunk(rg_index, column)
+            for r in in_group:
+                out[r] = values[r - lo]
+        missing = [r for r in wanted if r not in out]
+        if missing:
+            raise FormatError(f"rows {missing[:5]}... out of range for {self.key!r}")
+        return out

@@ -1,0 +1,128 @@
+"""Index interfaces and the type registry.
+
+Each Rottnest index type supplies two classes:
+
+* an :class:`IndexBuilder` — in-memory construction from page values,
+  merging (for compaction), and serialization into an index file; and
+* an :class:`IndexQuerier` — querying the *componentized* on-storage
+  layout, fetching only the components a query needs.
+
+Posting granularity is the data page (paper §V-A): exact-match builders
+consume ``(global_page_id, values)`` batches and return candidate page
+ids; the vector builder additionally keeps per-row offsets so PQ scores
+can be refined row by row.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Iterable
+
+from repro.errors import UnknownIndexType
+from repro.core.index_file import IndexFileReader, IndexFileWriter, PageDirectory
+
+
+@dataclass(frozen=True)
+class RowCandidate:
+    """A scored row candidate from a scoring (vector) index."""
+
+    gid: int  # global page id
+    offset: int  # row offset within the page
+    score: float  # approximate score; smaller = better (a distance)
+
+
+class IndexBuilder(ABC):
+    """In-memory index under construction."""
+
+    type_name: ClassVar[str]
+    #: Indexing aborts in favour of brute force below this many rows
+    #: (paper footnote 2; vector indices need enough data to train).
+    min_rows: ClassVar[int] = 1
+
+    @classmethod
+    @abstractmethod
+    def build(cls, pages: Iterable[tuple[int, list]], **params) -> "IndexBuilder":
+        """Construct from ``(global_page_id, values)`` batches."""
+
+    @abstractmethod
+    def write(self, writer: IndexFileWriter) -> None:
+        """Serialize into componentized form."""
+
+    @classmethod
+    @abstractmethod
+    def load(cls, reader: IndexFileReader) -> "IndexBuilder":
+        """Reconstruct the in-memory form from an index file (full
+        download; used by compaction merges)."""
+
+    @classmethod
+    @abstractmethod
+    def merge(
+        cls, parts: list["IndexBuilder"], gid_offsets: list[int]
+    ) -> "IndexBuilder":
+        """Merge several indices; part ``i``'s global page ids shift up
+        by ``gid_offsets[i]`` in the merged index."""
+
+
+class IndexQuerier(ABC):
+    """Query-side view over an opened index file."""
+
+    type_name: ClassVar[str]
+
+    def __init__(self, reader: IndexFileReader) -> None:
+        self.reader = reader
+
+    @property
+    def directory(self) -> PageDirectory:
+        return self.reader.directory
+
+
+class ExactQuerier(IndexQuerier):
+    """Exact-match indices return candidate pages (may include false
+    positives; never false negatives)."""
+
+    @abstractmethod
+    def candidate_pages(self, query) -> list[int]:
+        """Global page ids possibly containing ``query``."""
+
+
+class ScoringQuerier(IndexQuerier):
+    """Scoring indices return approximately-ranked row candidates."""
+
+    @abstractmethod
+    def candidates(self, query) -> list[RowCandidate]:
+        """Row candidates, best (smallest score) first."""
+
+
+_REGISTRY: dict[str, tuple[type[IndexBuilder], type[IndexQuerier]]] = {}
+
+
+def register(builder: type[IndexBuilder], querier: type[IndexQuerier]) -> None:
+    name = builder.type_name
+    if querier.type_name != name:
+        raise ValueError(
+            f"builder/querier type mismatch: {name!r} vs {querier.type_name!r}"
+        )
+    _REGISTRY[name] = (builder, querier)
+
+
+def builder_for(type_name: str) -> type[IndexBuilder]:
+    try:
+        return _REGISTRY[type_name][0]
+    except KeyError:
+        raise UnknownIndexType(
+            f"no index type {type_name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def querier_for(type_name: str) -> type[IndexQuerier]:
+    try:
+        return _REGISTRY[type_name][1]
+    except KeyError:
+        raise UnknownIndexType(
+            f"no index type {type_name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_types() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,39 @@
+"""Bit-string helpers for the binary trie index.
+
+Keys are byte strings viewed as big-endian bit strings (bit 0 is the
+most significant bit of byte 0).
+"""
+
+from __future__ import annotations
+
+
+def lcp_bits(a: bytes, b: bytes) -> int:
+    """Length in bits of the longest common prefix of two keys."""
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            diff = a[i] ^ b[i]
+            return i * 8 + (7 - diff.bit_length() + 1)
+    return n * 8
+
+
+def truncate_bits(key: bytes, bits: int) -> bytes:
+    """First ``bits`` bits of ``key``, zero-padded to a whole byte."""
+    if bits <= 0:
+        return b""
+    if bits >= len(key) * 8:
+        return bytes(key)
+    nbytes = (bits + 7) // 8
+    out = bytearray(key[:nbytes])
+    spare = nbytes * 8 - bits
+    if spare:
+        out[-1] &= (0xFF << spare) & 0xFF
+    return bytes(out)
+
+
+def prefix_matches(prefix: bytes, prefix_bits: int, key: bytes) -> bool:
+    """Whether the first ``prefix_bits`` bits of ``key`` equal ``prefix``
+    (which is already truncated/zero-padded to ``prefix_bits``)."""
+    if prefix_bits > len(key) * 8:
+        return False
+    return truncate_bits(key, prefix_bits) == prefix

@@ -1,0 +1,14 @@
+"""FM-index substring search: BWT primitives and the componentized index."""
+
+from repro.indices.fm.bwt import bwt_from_sa, invert_bwt, lf_array, suffix_array
+from repro.indices.fm.fm_index import FmBuilder, FmQuerier, page_text
+
+__all__ = [
+    "suffix_array",
+    "bwt_from_sa",
+    "invert_bwt",
+    "lf_array",
+    "FmBuilder",
+    "FmQuerier",
+    "page_text",
+]

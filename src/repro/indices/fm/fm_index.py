@@ -1,0 +1,618 @@
+"""Componentized FM-index for exact substring search (§V-C2).
+
+Built over the concatenation of all page texts of the indexed column
+(rows separated by 0x00 so matches cannot span rows). The on-storage
+layout follows the componentization principle:
+
+* ``blk{i}`` — rank blocks: 256 absolute occurrence counts at the block
+  start (u32) + the raw BWT slice. One ``Occ(c, pos)`` evaluation reads
+  exactly one block.
+* ``pg{i}`` — optional page-map blocks: the global page id of each
+  suffix in BWT order. Fast interval→pages but ~log2(#pages) bits per
+  character; disable with ``store_pagemap=False`` for the paper's
+  storage profile (index ≈ compressed data), where pages are recovered
+  through sampled-SA LF-walks instead.
+* ``sa{i}`` — sampled suffix array blocks: (local BWT offset, text
+  position) pairs for suffixes whose text position is a multiple of the
+  sample rate.
+* ``pagelens`` — per-page text lengths + global page ids; enough to
+  map positions to pages and to rebuild the index from inverted text.
+
+The structure is a **multi-string** FM-index: a fresh build has one
+sentinel, and every compaction merge (Holt-McMillan interleave, see
+:mod:`repro.indices.fm.merge`) adds the parts' sentinels to the
+collection. Patterns never contain the 0x00 separator, so counting and
+locating behave exactly as over the concatenated text.
+
+A substring query runs classic backward search: one dependent round of
+(at most two) block reads per pattern character, then a round resolving
+pages. Depth is O(|pattern|) — the paper's depth-bound access profile.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterable
+
+import numpy as np
+
+from repro.errors import RottnestIndexError
+from repro.core.index_file import IndexFileReader, IndexFileWriter
+from repro.indices.base import ExactQuerier, IndexBuilder
+from repro.indices.fm.bwt import (
+    bwt_from_sa,
+    invert_bwt,
+    invert_multi_bwt,
+    suffix_array,
+)
+from repro.indices.fm.merge import (
+    MergeDidNotConverge,
+    apply_interleave,
+    merge_bwts,
+    merged_bwt_and_sentinels,
+)
+from repro.util.binio import BinaryReader, BinaryWriter
+
+TYPE_NAME = "fm"
+DEFAULT_BLOCK_SIZE = 32 * 1024
+DEFAULT_SAMPLE_RATE = 64
+SEPARATOR = 0  # byte placed after every row
+
+
+def page_text(values: list[str]) -> bytes:
+    """Concatenate a page's rows with trailing separators."""
+    out = bytearray()
+    for value in values:
+        encoded = value.encode("utf-8")
+        if SEPARATOR in encoded:
+            raise RottnestIndexError("rows must not contain NUL bytes")
+        out += encoded
+        out.append(SEPARATOR)
+    return bytes(out)
+
+
+class FmBuilder(IndexBuilder):
+    """In-memory FM-index state (possibly multi-string)."""
+
+    type_name: ClassVar[str] = TYPE_NAME
+    min_rows: ClassVar[int] = 1
+
+    def __init__(
+        self,
+        bwt: bytes,
+        sentinels: list[int],
+        pagemap: np.ndarray,
+        samples: list[tuple[int, int]],
+        page_lens: list[int],
+        page_gids: list[int],
+        block_size: int,
+        sample_rate: int,
+        store_pagemap: bool = True,
+    ) -> None:
+        self.bwt = bwt
+        self.sentinels = sorted(int(s) for s in sentinels)
+        self.pagemap = pagemap
+        self.samples = samples
+        self.page_lens = page_lens
+        self.page_gids = page_gids
+        self.block_size = block_size
+        self.sample_rate = sample_rate
+        self.store_pagemap = store_pagemap
+
+    @property
+    def sentinel_index(self) -> int:
+        """First sentinel row (the only one for fresh builds)."""
+        return self.sentinels[0]
+
+    @property
+    def n(self) -> int:
+        return len(self.bwt)
+
+    @property
+    def text_length(self) -> int:
+        """Total characters across all texts (excludes sentinels)."""
+        return self.n - len(self.sentinels)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        pages: Iterable[tuple[int, list]],
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        sample_rate: int = DEFAULT_SAMPLE_RATE,
+        store_pagemap: bool = True,
+        **_params,
+    ) -> "FmBuilder":
+        """Build from page batches.
+
+        ``store_pagemap=True`` materializes the per-position page map
+        (fast interval→pages, but the map costs ~log2(#pages) bits per
+        character). ``False`` is the paper's storage profile: pages are
+        recovered at query time through sampled-suffix-array LF-walks,
+        keeping the index close to the size of the compressed data.
+        """
+        page_gids: list[int] = []
+        page_lens: list[int] = []
+        chunks: list[bytes] = []
+        for gid, values in pages:
+            text = page_text(values)
+            page_gids.append(gid)
+            page_lens.append(len(text))
+            chunks.append(text)
+        if not chunks:
+            raise RottnestIndexError("cannot build an FM-index over zero pages")
+        return cls._from_text(
+            b"".join(chunks),
+            page_lens,
+            page_gids,
+            block_size=block_size,
+            sample_rate=sample_rate,
+            store_pagemap=store_pagemap,
+        )
+
+    @classmethod
+    def _from_text(
+        cls,
+        text: bytes,
+        page_lens: list[int],
+        page_gids: list[int],
+        *,
+        block_size: int,
+        sample_rate: int,
+        store_pagemap: bool = True,
+    ) -> "FmBuilder":
+        if sum(page_lens) != len(text):
+            raise RottnestIndexError("page lengths do not sum to text length")
+        sa = suffix_array(text)
+        bwt, sentinel_index = bwt_from_sa(text, sa)
+        # Page of each suffix start; the sentinel suffix (start == n)
+        # points past the text and is parked on the last page — it can
+        # only be "matched" by the empty pattern, which is rejected.
+        starts = np.concatenate(
+            ([0], np.cumsum(np.asarray(page_lens, dtype=np.int64)))
+        )
+        page_index = np.searchsorted(starts, sa, side="right") - 1
+        page_index = np.minimum(page_index, len(page_lens) - 1)
+        pagemap = np.asarray(page_gids, dtype=np.uint32)[page_index]
+        sampled = np.nonzero(sa % sample_rate == 0)[0]
+        samples = [(int(i), int(sa[i])) for i in sampled]
+        return cls(
+            bwt=bwt,
+            sentinels=[sentinel_index],
+            pagemap=pagemap,
+            samples=samples,
+            page_lens=list(page_lens),
+            page_gids=list(page_gids),
+            block_size=block_size,
+            sample_rate=sample_rate,
+            store_pagemap=store_pagemap,
+        )
+
+    # -- serialization ------------------------------------------------
+    def write(self, writer: IndexFileWriter) -> None:
+        arr = np.frombuffer(self.bwt, dtype=np.uint8)
+        block = self.block_size
+        num_blocks = -(-self.n // block)
+        # Narrowest page-map dtype keeps the index near the size of the
+        # compressed data (the paper's substring-index storage profile).
+        pg_dtype = _pagemap_dtype(
+            int(self.pagemap.max()) if len(self.pagemap) else 0
+        )
+        # Absolute raw-byte counts before each block (sentinel slots are
+        # counted as raw 0x00 here; queriers correct using the sentinel
+        # list in params).
+        counts = np.zeros(256, dtype=np.uint32)
+        sample_cursor = 0
+        for b in range(num_blocks):
+            lo, hi = b * block, min((b + 1) * block, self.n)
+            payload = BinaryWriter()
+            payload.write_bytes(counts.astype("<u4").tobytes())
+            payload.write_bytes(self.bwt[lo:hi])
+            writer.add_component(f"blk{b}", payload.getvalue())
+            counts += np.bincount(arr[lo:hi], minlength=256).astype(np.uint32)
+
+            if self.store_pagemap:
+                writer.add_component(
+                    f"pg{b}", self.pagemap[lo:hi].astype(pg_dtype).tobytes()
+                )
+
+            sa_payload = BinaryWriter()
+            in_block = []
+            while (
+                sample_cursor < len(self.samples)
+                and self.samples[sample_cursor][0] < hi
+            ):
+                in_block.append(self.samples[sample_cursor])
+                sample_cursor += 1
+            sa_payload.write_uvarint(len(in_block))
+            prev = lo
+            for bwt_index, text_pos in in_block:
+                sa_payload.write_uvarint(bwt_index - prev)
+                prev = bwt_index
+                sa_payload.write_uvarint(text_pos)
+            writer.add_component(f"sa{b}", sa_payload.getvalue())
+
+        lens_payload = BinaryWriter()
+        lens_payload.write_uvarint(len(self.page_lens))
+        for length, gid in zip(self.page_lens, self.page_gids):
+            lens_payload.write_uvarint(length)
+            lens_payload.write_uvarint(gid)
+        writer.add_component("pagelens", lens_payload.getvalue())
+
+        writer.params.update(
+            {
+                "n": self.n,
+                "block_size": block,
+                "num_blocks": num_blocks,
+                "sample_rate": self.sample_rate,
+                "sentinels": list(self.sentinels),
+                "pg_dtype": pg_dtype,
+                "has_pagemap": self.store_pagemap,
+            }
+        )
+
+    @classmethod
+    def load(cls, reader: IndexFileReader) -> "FmBuilder":
+        params = reader.params
+        num_blocks = params["num_blocks"]
+        blk_blobs = reader.components([f"blk{b}" for b in range(num_blocks)])
+        bwt = b"".join(blob[1024:] for blob in blk_blobs)
+        pg_dtype = params.get("pg_dtype", "<u4")
+        has_pagemap = params.get("has_pagemap", True)
+        samples: list[tuple[int, int]] = []
+        block = params["block_size"]
+        for b, blob in enumerate(
+            reader.components([f"sa{b}" for b in range(num_blocks)])
+        ):
+            r = BinaryReader(blob)
+            count = r.read_uvarint()
+            cursor = b * block
+            for _ in range(count):
+                cursor += r.read_uvarint()
+                samples.append((cursor, r.read_uvarint()))
+        lens_reader = BinaryReader(reader.component("pagelens"))
+        num_pages = lens_reader.read_uvarint()
+        page_lens, page_gids = [], []
+        for _ in range(num_pages):
+            page_lens.append(lens_reader.read_uvarint())
+            page_gids.append(lens_reader.read_uvarint())
+        if has_pagemap:
+            pagemap = np.concatenate(
+                [
+                    np.frombuffer(blob, dtype=pg_dtype).astype(np.uint32)
+                    for blob in reader.components(
+                        [f"pg{b}" for b in range(num_blocks)]
+                    )
+                ]
+            )
+        else:
+            # Not materialized; the merge paths recompute it if needed.
+            pagemap = np.empty(0, dtype=np.uint32)
+        return cls(
+            bwt=bwt,
+            sentinels=params["sentinels"],
+            pagemap=pagemap,
+            samples=samples,
+            page_lens=page_lens,
+            page_gids=page_gids,
+            block_size=block,
+            sample_rate=params["sample_rate"],
+            store_pagemap=has_pagemap,
+        )
+
+    # -- merging --------------------------------------------------------
+    @classmethod
+    def merge(
+        cls, parts: list["FmBuilder"], gid_offsets: list[int]
+    ) -> "FmBuilder":
+        """Merge by bounded interleave iteration (paper §V-C2, [43]).
+
+        Parts fold pairwise through :func:`merge_bwts`; satellite arrays
+        weave through the same interleave. Falls back to
+        :meth:`merge_rebuild` if an interleave fails to converge within
+        its bound.
+        """
+        if len(parts) != len(gid_offsets):
+            raise RottnestIndexError("parts/offsets length mismatch")
+        try:
+            shifted = [
+                part._with_gid_offset(offset)
+                for part, offset in zip(parts, gid_offsets)
+            ]
+            merged = shifted[0]
+            for part in shifted[1:]:
+                merged = cls._merge_two(merged, part)
+            return merged
+        except MergeDidNotConverge:
+            return cls.merge_rebuild(parts, gid_offsets)
+
+    @classmethod
+    def merge_rebuild(
+        cls, parts: list["FmBuilder"], gid_offsets: list[int]
+    ) -> "FmBuilder":
+        """Merge by BWT inversion + from-scratch rebuild.
+
+        Produces a single-sentinel index byte-identical to building over
+        the concatenated pages; slower than the interleave merge but the
+        exact reference (and the fallback for pathological inputs).
+        Never needs the raw Parquet files.
+        """
+        if len(parts) != len(gid_offsets):
+            raise RottnestIndexError("parts/offsets length mismatch")
+        texts = []
+        for part in parts:
+            if len(part.sentinels) == 1:
+                texts.append(invert_bwt(part.bwt, part.sentinels[0]))
+            else:
+                texts.append(b"".join(invert_multi_bwt(part.bwt, part.sentinels)))
+        page_lens: list[int] = []
+        page_gids: list[int] = []
+        for part, offset in zip(parts, gid_offsets):
+            page_lens.extend(part.page_lens)
+            page_gids.extend(g + offset for g in part.page_gids)
+        return cls._from_text(
+            b"".join(texts),
+            page_lens,
+            page_gids,
+            block_size=max(p.block_size for p in parts),
+            sample_rate=max(p.sample_rate for p in parts),
+            store_pagemap=all(p.store_pagemap for p in parts),
+        )
+
+    def _with_gid_offset(self, offset: int) -> "FmBuilder":
+        if offset == 0:
+            return self
+        pagemap = self.pagemap
+        if len(pagemap):
+            pagemap = pagemap + np.uint32(offset)
+        return FmBuilder(
+            bwt=self.bwt,
+            sentinels=self.sentinels,
+            pagemap=pagemap,
+            samples=self.samples,
+            page_lens=self.page_lens,
+            page_gids=[g + offset for g in self.page_gids],
+            block_size=self.block_size,
+            sample_rate=self.sample_rate,
+            store_pagemap=self.store_pagemap,
+        )
+
+    @classmethod
+    def _merge_two(cls, a: "FmBuilder", b: "FmBuilder") -> "FmBuilder":
+        interleave, _iterations = merge_bwts(
+            a.bwt, a.sentinels, b.bwt, b.sentinels
+        )
+        bwt, sentinels = merged_bwt_and_sentinels(
+            interleave, a.bwt, a.sentinels, b.bwt, b.sentinels
+        )
+        both_pagemaps = a.store_pagemap and b.store_pagemap
+        if both_pagemaps and len(a.pagemap) and len(b.pagemap):
+            pagemap = apply_interleave(interleave, a.pagemap, b.pagemap)
+        else:
+            pagemap = np.empty(0, dtype=np.uint32)
+            both_pagemaps = False
+        # Satellite samples: remap BWT rows through the interleave and
+        # shift B's text positions past A's total text length.
+        rows_a = np.nonzero(~interleave)[0]
+        rows_b = np.nonzero(interleave)[0]
+        shift = a.text_length
+        samples = sorted(
+            [(int(rows_a[i]), pos) for i, pos in a.samples]
+            + [(int(rows_b[i]), pos + shift) for i, pos in b.samples]
+        )
+        return cls(
+            bwt=bwt,
+            sentinels=sentinels,
+            pagemap=pagemap,
+            samples=samples,
+            page_lens=a.page_lens + b.page_lens,
+            page_gids=a.page_gids + b.page_gids,
+            block_size=max(a.block_size, b.block_size),
+            sample_rate=max(a.sample_rate, b.sample_rate),
+            store_pagemap=both_pagemaps,
+        )
+
+
+class FmQuerier(ExactQuerier):
+    """Backward search + page resolution over the componentized layout."""
+
+    type_name: ClassVar[str] = TYPE_NAME
+
+    #: Cap on LF-walk locates for one query in page-map-less mode.
+    MAX_LOCATED_MATCHES = 10_000
+
+    def __init__(self, reader: IndexFileReader) -> None:
+        super().__init__(reader)
+        params = reader.params
+        self.n: int = params["n"]
+        self.block_size: int = params["block_size"]
+        self.num_blocks: int = params["num_blocks"]
+        self.sentinels: list[int] = sorted(params["sentinels"])
+        self._block_cache: dict[int, bytes] = {}
+        self._sa_cache: dict[int, bytes] = {}
+        self._c_array: np.ndarray | None = None
+
+    # -- low-level ------------------------------------------------------
+    def _block(self, b: int) -> bytes:
+        if b not in self._block_cache:
+            self._block_cache[b] = self.reader.component(f"blk{b}")
+        return self._block_cache[b]
+
+    def _prefetch_blocks(self, blocks: list[int]) -> None:
+        missing = sorted({b for b in blocks if b not in self._block_cache})
+        if not missing:
+            return
+        blobs = self.reader.components([f"blk{b}" for b in missing])
+        for b, blob in zip(missing, blobs):
+            self._block_cache[b] = blob
+
+    def _sentinels_before(self, pos: int) -> int:
+        return sum(1 for s in self.sentinels if s < pos)
+
+    def _occ(self, char: int, pos: int) -> int:
+        """Occurrences of ``char`` in BWT[0:pos), sentinel-corrected."""
+        if pos <= 0:
+            return 0
+        pos = min(pos, self.n)
+        b = (pos - 1) // self.block_size
+        blob = self._block(b)
+        base = np.frombuffer(blob, dtype="<u4", count=256)
+        slice_arr = np.frombuffer(blob, dtype=np.uint8, offset=1024)
+        local = pos - b * self.block_size
+        occ = int(base[char]) + int(np.count_nonzero(slice_arr[:local] == char))
+        if char == 0:
+            occ -= self._sentinels_before(pos)
+        return occ
+
+    @property
+    def c_array(self) -> np.ndarray:
+        """``C[c]`` = BWT characters (incl. sentinels) smaller than c."""
+        if self._c_array is None:
+            blob = self._block(self.num_blocks - 1)
+            base = np.frombuffer(blob, dtype="<u4", count=256).astype(np.int64)
+            tail = np.frombuffer(blob, dtype=np.uint8, offset=1024)
+            totals = base + np.bincount(tail, minlength=256)
+            totals[0] -= len(self.sentinels)
+            c = np.empty(257, dtype=np.int64)
+            c[0] = len(self.sentinels)
+            c[1:] = len(self.sentinels) + np.cumsum(totals)
+            self._c_array = c
+        return self._c_array
+
+    # -- search -----------------------------------------------------
+    def interval(self, needle: bytes) -> tuple[int, int]:
+        """Backward search; returns the matched BWT interval [lo, hi)."""
+        if not needle:
+            raise RottnestIndexError("empty search pattern")
+        if SEPARATOR in needle:
+            raise RottnestIndexError("pattern must not contain NUL bytes")
+        c = self.c_array
+        lo, hi = 0, self.n
+        for char in reversed(needle):
+            self.reader.barrier()  # each extension depends on the last
+            self._prefetch_blocks(
+                [max(0, (p - 1)) // self.block_size for p in (lo, hi) if p > 0]
+            )
+            lo = int(c[char]) + self._occ(char, lo)
+            hi = int(c[char]) + self._occ(char, hi)
+            if lo >= hi:
+                return lo, lo
+        return lo, hi
+
+    def count(self, needle) -> int:
+        """Exact number of (possibly overlapping) occurrences."""
+        lo, hi = self.interval(_as_bytes(needle))
+        return hi - lo
+
+    def candidate_pages(self, query, limit: int | None = None) -> list[int]:
+        """Distinct global page ids containing the pattern.
+
+        With a stored page map, reads only the page-map blocks covering
+        the matched interval. Without one (the paper's storage profile),
+        each match position is recovered by a sampled-SA LF-walk and
+        mapped to its page through the page-length table. ``limit``
+        stops early once that many distinct pages are found.
+        """
+        lo, hi = self.interval(_as_bytes(query))
+        if lo >= hi:
+            return []
+        self.reader.barrier()
+        if self.reader.params.get("has_pagemap", True):
+            return self._pages_from_pagemap(lo, hi, limit)
+        return self._pages_from_walks(lo, hi, limit)
+
+    def _pages_from_pagemap(
+        self, lo: int, hi: int, limit: int | None
+    ) -> list[int]:
+        pages: set[int] = set()
+        pg_dtype = self.reader.params.get("pg_dtype", "<u4")
+        first_block = lo // self.block_size
+        last_block = (hi - 1) // self.block_size
+        for b in range(first_block, last_block + 1):
+            blob = self.reader.component(f"pg{b}")
+            arr = np.frombuffer(blob, dtype=pg_dtype)
+            block_lo = max(lo - b * self.block_size, 0)
+            block_hi = min(hi - b * self.block_size, len(arr))
+            pages.update(np.unique(arr[block_lo:block_hi]).tolist())
+            if limit is not None and len(pages) >= limit:
+                break
+        return sorted(pages)
+
+    def _pages_from_walks(self, lo: int, hi: int, limit: int | None) -> list[int]:
+        starts, gids = self._page_starts()
+        pages: set[int] = set()
+        for row in range(lo, min(hi, lo + self.MAX_LOCATED_MATCHES)):
+            position = self._resolve(row)
+            page_index = int(np.searchsorted(starts, position, side="right")) - 1
+            page_index = min(max(page_index, 0), len(gids) - 1)
+            pages.add(int(gids[page_index]))
+            if limit is not None and len(pages) >= limit:
+                break
+        return sorted(pages)
+
+    def _page_starts(self):
+        if not hasattr(self, "_page_starts_cache"):
+            r = BinaryReader(self.reader.component("pagelens"))
+            count = r.read_uvarint()
+            lens, gids = [], []
+            for _ in range(count):
+                lens.append(r.read_uvarint())
+                gids.append(r.read_uvarint())
+            starts = np.concatenate(
+                ([0], np.cumsum(np.asarray(lens, dtype=np.int64))[:-1])
+            )
+            self._page_starts_cache = (starts, np.asarray(gids, dtype=np.uint32))
+        return self._page_starts_cache
+
+    def locate_positions(self, needle, limit: int = 100) -> list[int]:
+        """Exact text offsets of up to ``limit`` matches (sampled-SA
+        LF-walks; each step is a dependent block read)."""
+        lo, hi = self.interval(_as_bytes(needle))
+        positions = []
+        for i in range(lo, min(hi, lo + limit)):
+            positions.append(self._resolve(i))
+        return sorted(positions)
+
+    def _resolve(self, row: int) -> int:
+        steps = 0
+        j = row
+        while True:
+            sample = self._sample_at(j)
+            if sample is not None:
+                return sample + steps
+            blob = self._block(j // self.block_size)
+            char = blob[1024 + (j % self.block_size)]
+            self.reader.barrier()
+            j = int(self.c_array[char]) + self._occ(char, j)
+            steps += 1
+
+    def _sample_at(self, bwt_index: int) -> int | None:
+        block = bwt_index // self.block_size
+        if block not in self._sa_cache:
+            self._sa_cache[block] = self.reader.component(f"sa{block}")
+        blob = self._sa_cache[block]
+        r = BinaryReader(blob)
+        count = r.read_uvarint()
+        cursor = block * self.block_size
+        for _ in range(count):
+            cursor += r.read_uvarint()
+            value = r.read_uvarint()
+            if cursor == bwt_index:
+                return value
+            if cursor > bwt_index:
+                return None
+        return None
+
+
+def _pagemap_dtype(max_gid: int) -> str:
+    if max_gid < 256:
+        return "<u1"
+    if max_gid < 65536:
+        return "<u2"
+    return "<u4"
+
+
+def _as_bytes(query) -> bytes:
+    if isinstance(query, str):
+        return query.encode("utf-8")
+    return bytes(query)

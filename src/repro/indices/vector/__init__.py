@@ -1,0 +1,14 @@
+"""Vector ANN substrate: k-means, product quantization, IVF-PQ."""
+
+from repro.indices.vector.ivf_pq import IvfPqBuilder, IvfPqQuerier
+from repro.indices.vector.kmeans import assign, kmeans, squared_distances
+from repro.indices.vector.pq import ProductQuantizer
+
+__all__ = [
+    "IvfPqBuilder",
+    "IvfPqQuerier",
+    "ProductQuantizer",
+    "kmeans",
+    "assign",
+    "squared_distances",
+]

@@ -1,0 +1,87 @@
+"""Minimal k-means (kmeans++ init, Lloyd iterations) on numpy.
+
+Used twice by the IVF-PQ index: for the coarse inverted-list centroids
+and per-subspace for the product-quantizer codebooks. Deterministic
+given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+ASSIGN_CHUNK = 16_384
+
+
+def squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared L2 distances, (n, k)."""
+    p2 = np.sum(points * points, axis=1, keepdims=True)
+    c2 = np.sum(centers * centers, axis=1)
+    d = p2 + c2 - 2.0 * points @ centers.T
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def assign(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Index of the nearest center for every point (chunked)."""
+    out = np.empty(len(points), dtype=np.int64)
+    for start in range(0, len(points), ASSIGN_CHUNK):
+        chunk = points[start : start + ASSIGN_CHUNK]
+        out[start : start + ASSIGN_CHUNK] = np.argmin(
+            squared_distances(chunk, centers), axis=1
+        )
+    return out
+
+
+def _kmeans_pp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    n = len(points)
+    centers = np.empty((k, points.shape[1]), dtype=points.dtype)
+    centers[0] = points[rng.integers(n)]
+    closest = squared_distances(points, centers[:1]).ravel()
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All points coincide with chosen centers; fill randomly.
+            centers[i:] = points[rng.integers(n, size=k - i)]
+            break
+        probs = closest / total
+        idx = rng.choice(n, p=probs)
+        centers[i] = points[idx]
+        np.minimum(
+            closest, squared_distances(points, centers[i : i + 1]).ravel(), out=closest
+        )
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    iters: int = 15,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster ``points`` into ``k`` groups.
+
+    Returns ``(centers, assignments)``. ``k`` is clamped to ``len(points)``.
+    """
+    points = np.asarray(points, dtype=np.float32)
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError(f"need a non-empty 2-D array, got shape {points.shape}")
+    k = max(1, min(k, len(points)))
+    rng = np.random.default_rng(seed)
+    centers = _kmeans_pp_init(points, k, rng).astype(np.float32)
+    labels = assign(points, centers)
+    for _ in range(iters):
+        for c in range(k):
+            members = points[labels == c]
+            if len(members):
+                centers[c] = members.mean(axis=0)
+            else:
+                # Re-seed empty clusters from a random point.
+                centers[c] = points[rng.integers(len(points))]
+        new_labels = assign(points, centers)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    return centers, labels

@@ -1,0 +1,118 @@
+"""Product quantization: compress vectors to ``m`` one-byte codes.
+
+Each vector is split into ``m`` subvectors; each subspace gets its own
+256-entry codebook trained by k-means. Asymmetric distance computation
+(ADC) scores a query against compressed vectors with one table lookup
+per subspace — the cheap approximate ranking step of IVF-PQ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RottnestIndexError
+from repro.indices.vector.kmeans import assign, kmeans
+
+CODEBOOK_SIZE = 256
+
+
+class ProductQuantizer:
+    """Trained codebooks for one (sub)vector space."""
+
+    def __init__(self, codebooks: np.ndarray) -> None:
+        # (m, 256, sub_dim) float32; entries beyond the trained count of
+        # a small dataset simply repeat and are never emitted by encode.
+        if codebooks.ndim != 3:
+            raise RottnestIndexError(
+                f"codebooks must be 3-D, got shape {codebooks.shape}"
+            )
+        self.codebooks = codebooks.astype(np.float32)
+
+    @property
+    def m(self) -> int:
+        return self.codebooks.shape[0]
+
+    @property
+    def sub_dim(self) -> int:
+        return self.codebooks.shape[2]
+
+    @property
+    def dim(self) -> int:
+        return self.m * self.sub_dim
+
+    @classmethod
+    def train(
+        cls, vectors: np.ndarray, m: int, *, iters: int = 12, seed: int = 0
+    ) -> "ProductQuantizer":
+        vectors = np.asarray(vectors, dtype=np.float32)
+        n, d = vectors.shape
+        if d % m != 0:
+            raise RottnestIndexError(f"dim {d} not divisible by m={m}")
+        sub = d // m
+        k = min(CODEBOOK_SIZE, n)
+        codebooks = np.empty((m, CODEBOOK_SIZE, sub), dtype=np.float32)
+        for j in range(m):
+            centers, _ = kmeans(
+                vectors[:, j * sub : (j + 1) * sub], k, iters=iters, seed=seed + j
+            )
+            codebooks[j, :k] = centers
+            if k < CODEBOOK_SIZE:
+                codebooks[j, k:] = centers[0]
+        return cls(codebooks)
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Compress to (n, m) uint8 codes."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.shape[1] != self.dim:
+            raise RottnestIndexError(
+                f"vector dim {vectors.shape[1]} != trained dim {self.dim}"
+            )
+        codes = np.empty((len(vectors), self.m), dtype=np.uint8)
+        sub = self.sub_dim
+        for j in range(self.m):
+            codes[:, j] = assign(
+                vectors[:, j * sub : (j + 1) * sub], self.codebooks[j]
+            )
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Approximate reconstruction from codes, (n, dim)."""
+        codes = np.asarray(codes, dtype=np.uint8)
+        out = np.empty((len(codes), self.dim), dtype=np.float32)
+        sub = self.sub_dim
+        for j in range(self.m):
+            out[:, j * sub : (j + 1) * sub] = self.codebooks[j][codes[:, j]]
+        return out
+
+    def adc_table(self, query: np.ndarray) -> np.ndarray:
+        """(m, 256) table of squared distances from query subvectors to
+        every codebook entry."""
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise RottnestIndexError(
+                f"query dim {query.shape[0]} != trained dim {self.dim}"
+            )
+        sub = self.sub_dim
+        diffs = self.codebooks - query.reshape(self.m, 1, sub)
+        return np.sum(diffs * diffs, axis=2)
+
+    @staticmethod
+    def adc_distances(codes: np.ndarray, table: np.ndarray) -> np.ndarray:
+        """Approximate squared distances of coded vectors to the query
+        behind ``table``."""
+        m = table.shape[0]
+        return table[np.arange(m), codes].sum(axis=1)
+
+    def serialize(self) -> bytes:
+        header = np.asarray(
+            [self.m, CODEBOOK_SIZE, self.sub_dim], dtype="<u4"
+        ).tobytes()
+        return header + self.codebooks.astype("<f4").tobytes()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ProductQuantizer":
+        m, k, sub = np.frombuffer(data, dtype="<u4", count=3)
+        books = np.frombuffer(data, dtype="<f4", offset=12).reshape(
+            int(m), int(k), int(sub)
+        )
+        return cls(books.copy())

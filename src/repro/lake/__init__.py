@@ -1,0 +1,28 @@
+"""Delta-Lake-like transactional data lake on object storage."""
+
+from repro.lake.actions import (
+    Action,
+    AddFile,
+    RemoveFile,
+    SetDeletionVector,
+    SetSchema,
+)
+from repro.lake.deletion import DeletionVector
+from repro.lake.log import TransactionLog
+from repro.lake.snapshot import FileEntry, Snapshot, replay
+from repro.lake.table import LakeTable, TableConfig
+
+__all__ = [
+    "Action",
+    "AddFile",
+    "RemoveFile",
+    "SetDeletionVector",
+    "SetSchema",
+    "DeletionVector",
+    "TransactionLog",
+    "FileEntry",
+    "Snapshot",
+    "replay",
+    "LakeTable",
+    "TableConfig",
+]

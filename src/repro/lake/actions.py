@@ -1,0 +1,116 @@
+"""Transaction-log actions for the data lake.
+
+Mirrors Delta Lake's action model: each committed log version is a JSON
+document holding a list of actions. The actions here are the subset that
+matters to Rottnest's protocol — files being added and removed (by
+appends, compactions, updates) and deletion vectors being attached.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import LakeError
+from repro.formats.schema import ColumnType, Field, Schema
+
+
+@dataclass(frozen=True)
+class SetSchema:
+    """First-commit action establishing the table schema."""
+
+    schema: Schema
+
+    def to_json(self) -> dict:
+        return {
+            "action": "set_schema",
+            "fields": [
+                {"name": f.name, "type": f.type.name, "vector_dim": f.vector_dim}
+                for f in self.schema.fields
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class AddFile:
+    """A new Parquet data file became part of the table."""
+
+    path: str
+    num_rows: int
+    size: int
+
+    def to_json(self) -> dict:
+        return {
+            "action": "add_file",
+            "path": self.path,
+            "num_rows": self.num_rows,
+            "size": self.size,
+        }
+
+
+@dataclass(frozen=True)
+class RemoveFile:
+    """A data file left the table (compaction, delete, overwrite)."""
+
+    path: str
+
+    def to_json(self) -> dict:
+        return {"action": "remove_file", "path": self.path}
+
+
+@dataclass(frozen=True)
+class SetDeletionVector:
+    """Attach (or replace) the deletion vector of a data file.
+
+    ``dv_path`` may be empty to clear the vector (after a rewrite).
+    """
+
+    data_path: str
+    dv_path: str
+
+    def to_json(self) -> dict:
+        return {
+            "action": "set_deletion_vector",
+            "data_path": self.data_path,
+            "dv_path": self.dv_path,
+        }
+
+
+Action = SetSchema | AddFile | RemoveFile | SetDeletionVector
+
+
+def actions_to_bytes(actions: list[Action]) -> bytes:
+    return json.dumps([a.to_json() for a in actions], indent=None).encode("utf-8")
+
+
+def actions_from_bytes(data: bytes) -> list[Action]:
+    try:
+        raw = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise LakeError(f"corrupt log entry: {exc}") from exc
+    actions: list[Action] = []
+    for obj in raw:
+        kind = obj.get("action")
+        if kind == "set_schema":
+            fields = tuple(
+                Field(
+                    name=f["name"],
+                    type=ColumnType[f["type"]],
+                    vector_dim=f["vector_dim"],
+                )
+                for f in obj["fields"]
+            )
+            actions.append(SetSchema(schema=Schema(fields=fields)))
+        elif kind == "add_file":
+            actions.append(
+                AddFile(path=obj["path"], num_rows=obj["num_rows"], size=obj["size"])
+            )
+        elif kind == "remove_file":
+            actions.append(RemoveFile(path=obj["path"]))
+        elif kind == "set_deletion_vector":
+            actions.append(
+                SetDeletionVector(data_path=obj["data_path"], dv_path=obj["dv_path"])
+            )
+        else:
+            raise LakeError(f"unknown log action {kind!r}")
+    return actions

@@ -1,0 +1,150 @@
+"""Snapshots: point-in-time views reconstructed from the log.
+
+A snapshot is exactly what Rottnest's plan steps consume — the *manifest
+list* of live Parquet files plus any attached deletion vectors (paper
+§IV-B step 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LakeError
+from repro.formats.schema import Schema
+from repro.lake.actions import (
+    Action,
+    AddFile,
+    RemoveFile,
+    SetDeletionVector,
+    SetSchema,
+)
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    path: str
+    num_rows: int
+    size: int
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Immutable view: live files, their deletion vectors, the schema."""
+
+    version: int
+    schema: Schema
+    files: tuple[FileEntry, ...]
+    deletion_vectors: dict[str, str]  # data path -> dv object key
+
+    def to_json(self) -> dict:
+        """Checkpoint serialization (see TransactionLog checkpoints)."""
+        return {
+            "version": self.version,
+            "fields": [
+                {"name": f.name, "type": f.type.name, "vector_dim": f.vector_dim}
+                for f in self.schema.fields
+            ],
+            "files": [
+                {"path": f.path, "num_rows": f.num_rows, "size": f.size}
+                for f in self.files
+            ],
+            "deletion_vectors": dict(self.deletion_vectors),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Snapshot":
+        from repro.formats.schema import ColumnType, Field
+
+        fields = tuple(
+            Field(
+                name=f["name"],
+                type=ColumnType[f["type"]],
+                vector_dim=f["vector_dim"],
+            )
+            for f in obj["fields"]
+        )
+        return cls(
+            version=obj["version"],
+            schema=Schema(fields=fields),
+            files=tuple(
+                FileEntry(path=f["path"], num_rows=f["num_rows"], size=f["size"])
+                for f in obj["files"]
+            ),
+            deletion_vectors=dict(obj["deletion_vectors"]),
+        )
+
+    @property
+    def file_paths(self) -> list[str]:
+        return [f.path for f in self.files]
+
+    @property
+    def num_rows(self) -> int:
+        """Physical rows (before deletion-vector filtering)."""
+        return sum(f.num_rows for f in self.files)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self.files)
+
+    def entry(self, path: str) -> FileEntry:
+        for f in self.files:
+            if f.path == path:
+                return f
+        raise LakeError(f"file {path!r} not in snapshot v{self.version}")
+
+    def contains(self, path: str) -> bool:
+        return any(f.path == path for f in self.files)
+
+
+def replay(
+    version: int,
+    log_versions: list[list[Action]],
+    base: Snapshot | None = None,
+) -> Snapshot:
+    """Fold log actions into a snapshot at ``version``.
+
+    Without ``base``, ``log_versions`` holds the actions of versions
+    ``0..version``. With ``base`` (a checkpointed snapshot), it holds
+    only the tail ``base.version+1..version``.
+    """
+    schema: Schema | None = None
+    files: dict[str, FileEntry] = {}
+    dvs: dict[str, str] = {}
+    if base is not None:
+        schema = base.schema
+        files = {f.path: f for f in base.files}
+        dvs = dict(base.deletion_vectors)
+    for actions in log_versions:
+        for action in actions:
+            if isinstance(action, SetSchema):
+                if schema is not None:
+                    raise LakeError("schema set twice in log")
+                schema = action.schema
+            elif isinstance(action, AddFile):
+                if action.path in files:
+                    raise LakeError(f"file {action.path!r} added twice")
+                files[action.path] = FileEntry(
+                    path=action.path, num_rows=action.num_rows, size=action.size
+                )
+            elif isinstance(action, RemoveFile):
+                if action.path not in files:
+                    raise LakeError(f"removing unknown file {action.path!r}")
+                del files[action.path]
+                dvs.pop(action.path, None)
+            elif isinstance(action, SetDeletionVector):
+                if action.data_path not in files:
+                    raise LakeError(
+                        f"deletion vector for unknown file {action.data_path!r}"
+                    )
+                if action.dv_path:
+                    dvs[action.data_path] = action.dv_path
+                else:
+                    dvs.pop(action.data_path, None)
+            else:  # pragma: no cover - union is closed
+                raise LakeError(f"unknown action {action!r}")
+    if schema is None:
+        raise LakeError("log has no schema (table never created?)")
+    ordered = tuple(files[p] for p in sorted(files))
+    return Snapshot(
+        version=version, schema=schema, files=ordered, deletion_vectors=dict(dvs)
+    )

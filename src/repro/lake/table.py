@@ -1,0 +1,382 @@
+"""High-level data lake table: appends, deletes, compaction, time travel.
+
+This is the Delta-Lake-like substrate Rottnest bolts onto. All the
+operations the paper's protocol must survive are here:
+
+* ``append`` — new Parquet files (the common case),
+* ``delete_where`` — row deletes via deletion vectors,
+* ``compact`` — small files merged into large ones (invalidating any
+  physical locations indices recorded for the old files),
+* ``rewrite_sorted`` — Z-order-style clustering rewrite,
+* ``vacuum`` — physical garbage collection of unreferenced files,
+* time travel via ``snapshot(version=...)``.
+
+Rottnest itself never calls the mutating operations; it only reads
+manifest lists, Parquet bytes and deletion vectors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+from dataclasses import dataclass
+
+from repro.errors import CommitConflict, LakeError
+from repro.formats.pages import DEFAULT_PAGE_TARGET_BYTES
+from repro.formats.parquet import DEFAULT_ROW_GROUP_ROWS, write_parquet
+from repro.formats.reader import ParquetFile
+from repro.formats.schema import Schema
+from repro.lake.actions import (
+    Action,
+    AddFile,
+    RemoveFile,
+    SetDeletionVector,
+    SetSchema,
+)
+from repro.lake.deletion import DeletionVector
+from repro.lake.log import TransactionLog
+from repro.lake.snapshot import Snapshot, replay
+from repro.storage.object_store import ObjectStore
+
+DATA_DIR = "data"
+DELETES_DIR = "deletes"
+
+
+@dataclass(frozen=True)
+class TableConfig:
+    """Physical layout knobs for files this table writes."""
+
+    codec: str = "zlib"
+    row_group_rows: int = DEFAULT_ROW_GROUP_ROWS
+    page_target_bytes: int = DEFAULT_PAGE_TARGET_BYTES
+    checkpoint_interval: int = 10
+    """A log checkpoint is written after every this many commits, so
+    snapshot reconstruction reads one checkpoint + a short tail instead
+    of the whole log (Delta Lake's checkpointing)."""
+
+
+class LakeTable:
+    """One transactional table rooted at ``root`` in an object store."""
+
+    def __init__(
+        self, store: ObjectStore, root: str, config: TableConfig | None = None
+    ) -> None:
+        self.store = store
+        self.root = root.rstrip("/")
+        self.config = config or TableConfig()
+        self.log = TransactionLog(store, self.root)
+        self._name_counter = itertools.count()
+
+    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        store: ObjectStore,
+        root: str,
+        schema: Schema,
+        config: TableConfig | None = None,
+    ) -> "LakeTable":
+        table = cls(store, root, config)
+        if table.log.latest_version() != -1:
+            raise LakeError(f"table already exists at {root!r}")
+        table.log.try_commit(0, [SetSchema(schema=schema)])
+        return table
+
+    @classmethod
+    def open(
+        cls, store: ObjectStore, root: str, config: TableConfig | None = None
+    ) -> "LakeTable":
+        table = cls(store, root, config)
+        if table.log.latest_version() == -1:
+            raise LakeError(f"no table at {root!r}")
+        return table
+
+    # -- snapshots ------------------------------------------------------
+    def latest_version(self) -> int:
+        return self.log.latest_version()
+
+    def snapshot(self, version: int | None = None) -> Snapshot:
+        if version is None:
+            version = self.log.latest_version()
+        base_version = self.log.latest_checkpoint_version(version)
+        if base_version >= 0:
+            base = self.log.read_checkpoint(base_version)
+            tail = self.log.read_range(base_version + 1, version)
+            return replay(version, tail, base=base)
+        return replay(version, self.log.read_all(up_to=version))
+
+    def _maybe_checkpoint(self, version: int) -> None:
+        if (version + 1) % self.config.checkpoint_interval != 0:
+            return
+        # Reconstruct exactly `version` (not latest: a concurrent writer
+        # may already have moved on) and persist it.
+        base_version = self.log.latest_checkpoint_version(version)
+        if base_version == version:
+            return
+        if base_version >= 0:
+            base = self.log.read_checkpoint(base_version)
+            snap = replay(
+                version, self.log.read_range(base_version + 1, version), base=base
+            )
+        else:
+            snap = replay(version, self.log.read_all(up_to=version))
+        self.log.write_checkpoint(snap)
+
+    @property
+    def schema(self) -> Schema:
+        return self.snapshot(0).schema
+
+    def files_since(self, version: int) -> set[str]:
+        """Union of data-file paths over snapshots ``version..latest``.
+
+        This is the "supported snapshots" input to Rottnest's vacuum
+        planner (paper §IV-C).
+        """
+        latest = self.log.latest_version()
+        version = max(0, version)
+        paths: set[str] = set()
+        for v in range(version, latest + 1):
+            paths.update(self.snapshot(v).file_paths)
+        return paths
+
+    # -- writes ---------------------------------------------------------
+    def _new_data_key(self, content: bytes, partition: str | None) -> str:
+        digest = hashlib.sha1(content).hexdigest()[:10]
+        nonce = os.urandom(3).hex()
+        seq = next(self._name_counter)
+        subdir = f"{DATA_DIR}/p={partition}" if partition else DATA_DIR
+        return f"{self.root}/{subdir}/part-{seq:05d}-{digest}-{nonce}.parquet"
+
+    def _write_data_file(
+        self, columns: dict[str, list], partition: str | None = None
+    ) -> AddFile:
+        result = write_parquet(
+            self.schema,
+            columns,
+            codec=self.config.codec,
+            row_group_rows=self.config.row_group_rows,
+            page_target_bytes=self.config.page_target_bytes,
+        )
+        key = self._new_data_key(result.data, partition)
+        self.store.put(key, result.data)
+        return AddFile(path=key, num_rows=result.num_rows, size=len(result.data))
+
+    def append(self, columns: dict[str, list], partition: str | None = None) -> int:
+        """Append rows as one new Parquet file; returns the new version.
+
+        ``partition`` (Hive-style, e.g. ``"2026-07"``) clusters the file
+        under ``data/p=<partition>/``. Rottnest search can then restrict
+        itself to one partition — the paper's §VI mechanism for queries
+        with structured filters, whose "normalized" cost scales with the
+        fraction of partitions touched.
+        """
+        if partition is not None and ("/" in partition or "=" in partition):
+            raise LakeError(f"invalid partition value {partition!r}")
+        add = self._write_data_file(columns, partition)
+        version = self.log.commit([add])
+        self._maybe_checkpoint(version)
+        return version
+
+    @staticmethod
+    def partition_of(path: str) -> str | None:
+        """The partition value encoded in a data-file path, if any."""
+        for segment in path.split("/"):
+            if segment.startswith("p="):
+                return segment[2:]
+        return None
+
+    def delete_where(self, column: str, predicate) -> int:
+        """Logically delete rows where ``predicate(value)`` is true.
+
+        Writes/extends deletion vectors; the Parquet files stay intact.
+        Returns the number of newly deleted rows.
+        """
+        deleted = 0
+        actions: list[Action] = []
+        snap = self.snapshot()
+        for entry in snap.files:
+            reader = ParquetFile(self.store, entry.path)
+            existing = self.deletion_vector(snap, entry.path)
+            hits = [
+                row
+                for row, value in reader.scan_column(column)
+                if row not in existing and predicate(value)
+            ]
+            if not hits:
+                continue
+            merged = existing.union(DeletionVector(hits))
+            data = merged.serialize()
+            digest = hashlib.sha1(data).hexdigest()[:10]
+            dv_key = f"{self.root}/{DELETES_DIR}/dv-{digest}-{os.urandom(3).hex()}.bin"
+            self.store.put(dv_key, data)
+            actions.append(SetDeletionVector(data_path=entry.path, dv_path=dv_key))
+            deleted += len(hits)
+        if actions:
+            self._commit_against(snap.version, actions)
+        return deleted
+
+    def compact(self, min_file_rows: int, target_rows: int) -> list[str]:
+        """Merge small files (< ``min_file_rows``) into files of up to
+        ``target_rows`` rows, dropping logically deleted rows.
+
+        Returns the paths of the new files (empty if nothing to do).
+        This is the lake-side compaction that *invalidates* physical
+        locations recorded by Rottnest index files.
+        """
+        if target_rows < min_file_rows:
+            raise LakeError("target_rows must be >= min_file_rows")
+        snap = self.snapshot()
+        small = [f for f in snap.files if f.num_rows < min_file_rows]
+        if len(small) < 2:
+            return []
+        # Files only merge within their partition.
+        by_partition: dict[str | None, list] = {}
+        for f in small:
+            by_partition.setdefault(self.partition_of(f.path), []).append(f)
+        bins: list[tuple[str | None, list]] = []
+        for partition, files in by_partition.items():
+            current: list = []
+            rows_in_bin = 0
+            for f in files:
+                if current and rows_in_bin + f.num_rows > target_rows:
+                    bins.append((partition, current))
+                    current = []
+                    rows_in_bin = 0
+                current.append(f)
+                rows_in_bin += f.num_rows
+            if current:
+                bins.append((partition, current))
+        actions: list[Action] = []
+        new_paths: list[str] = []
+        for partition, group in bins:
+            if len(group) < 2:
+                continue
+            columns = self._read_group(snap, group)
+            if not len(next(iter(columns.values()), [])):
+                # Everything in the group was deleted; just drop files.
+                actions.extend(RemoveFile(path=f.path) for f in group)
+                continue
+            add = self._write_data_file(columns, partition)
+            new_paths.append(add.path)
+            actions.append(add)
+            actions.extend(RemoveFile(path=f.path) for f in group)
+        if actions:
+            self._commit_against(snap.version, actions)
+        return new_paths
+
+    def rewrite_sorted(self, column: str) -> list[str]:
+        """Rewrite the table clustered by ``column`` (the repo's
+        stand-in for Z-order), one new file per partition. All current
+        files are replaced."""
+        snap = self.snapshot()
+        if not snap.files:
+            return []
+        by_partition: dict[str | None, list] = {}
+        for f in snap.files:
+            by_partition.setdefault(self.partition_of(f.path), []).append(f)
+        actions: list[Action] = []
+        new_paths: list[str] = []
+        for partition, group in by_partition.items():
+            columns = self._read_group(snap, group)
+            order = sorted(
+                range(len(columns[column])), key=lambda i: columns[column][i]
+            )
+            reordered = {
+                name: _take(values, order) for name, values in columns.items()
+            }
+            add = self._write_data_file(reordered, partition)
+            new_paths.append(add.path)
+            actions.append(add)
+            actions.extend(RemoveFile(path=f.path) for f in group)
+        self._commit_against(snap.version, actions)
+        return new_paths
+
+    def vacuum(self, retain_versions: int = 1) -> list[str]:
+        """Physically delete data/dv files not referenced by the last
+        ``retain_versions`` snapshots. Returns deleted keys."""
+        if retain_versions < 1:
+            raise LakeError("must retain at least the latest snapshot")
+        latest = self.log.latest_version()
+        first_kept = max(0, latest - retain_versions + 1)
+        keep_data: set[str] = set()
+        keep_dv: set[str] = set()
+        for v in range(first_kept, latest + 1):
+            snap = self.snapshot(v)
+            keep_data.update(snap.file_paths)
+            keep_dv.update(snap.deletion_vectors.values())
+        removed = []
+        for info in self.store.list(f"{self.root}/{DATA_DIR}/"):
+            if info.key not in keep_data:
+                self.store.delete(info.key)
+                removed.append(info.key)
+        for info in self.store.list(f"{self.root}/{DELETES_DIR}/"):
+            if info.key not in keep_dv:
+                self.store.delete(info.key)
+                removed.append(info.key)
+        return removed
+
+    # -- reads ------------------------------------------------------
+    def deletion_vector(self, snap: Snapshot, path: str) -> DeletionVector:
+        dv_key = snap.deletion_vectors.get(path)
+        if dv_key is None:
+            return DeletionVector()
+        return DeletionVector.deserialize(self.store.get(dv_key))
+
+    def scan(self, column: str, snapshot: Snapshot | None = None):
+        """Yield ``(path, row_index, value)`` for live rows of a column."""
+        snap = snapshot or self.snapshot()
+        for entry in snap.files:
+            dv = self.deletion_vector(snap, entry.path)
+            reader = ParquetFile(self.store, entry.path)
+            for row, value in reader.scan_column(column):
+                if row not in dv:
+                    yield entry.path, row, value
+
+    def to_pylist(self, column: str, snapshot: Snapshot | None = None) -> list:
+        """All live values of a column (small tables / tests)."""
+        return [value for _, _, value in self.scan(column, snapshot)]
+
+    # -- internals ----------------------------------------------------
+    def _read_group(self, snap: Snapshot, group: list) -> dict[str, list]:
+        """Concatenate the live rows of several files, column by column."""
+        out: dict[str, list] = {name: [] for name in self.schema.names}
+        for entry in group:
+            dv = self.deletion_vector(snap, entry.path)
+            reader = ParquetFile(self.store, entry.path)
+            per_col = {}
+            for name in self.schema.names:
+                column_values = []
+                for rg_index in range(len(reader.metadata.row_groups)):
+                    column_values.extend(reader.read_column_chunk(rg_index, name))
+                per_col[name] = column_values
+            alive = [r for r in range(entry.num_rows) if r not in dv]
+            for name in self.schema.names:
+                out[name].extend(_take(per_col[name], alive))
+        return out
+
+    def _commit_against(self, planned_version: int, actions: list[Action]) -> int:
+        """Commit actions planned against ``planned_version``.
+
+        If another writer committed in between, fail with
+        :class:`CommitConflict` so the caller can re-plan — the planned
+        Remove/SetDV actions may reference files that no longer exist.
+        Plain appends never conflict logically, so they use
+        ``log.commit`` instead.
+        """
+        version = planned_version + 1
+        try:
+            self.log.try_commit(version, actions)
+        except CommitConflict:
+            raise
+        self._maybe_checkpoint(version)
+        return version
+
+
+def _take(values, indices: list[int]):
+    """Select positions from a list or numpy array, preserving type."""
+    import numpy as np
+
+    if isinstance(values, np.ndarray):
+        return values[indices]
+    return [values[i] for i in indices]

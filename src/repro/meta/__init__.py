@@ -1,0 +1,5 @@
+"""Rottnest metadata table (transactional index-record store)."""
+
+from repro.meta.metadata_table import IndexRecord, MetadataTable
+
+__all__ = ["IndexRecord", "MetadataTable"]

@@ -1,0 +1,26 @@
+"""Object storage substrate: S3-like store, latency model, cost model."""
+
+from repro.storage.costs import GB, HOURS_PER_MONTH, CostModel
+from repro.storage.faults import FaultRule, FaultyObjectStore
+from repro.storage.latency import LatencyModel
+from repro.storage.localfs import LocalFSObjectStore
+from repro.storage.object_store import InMemoryObjectStore, ObjectInfo, ObjectStore
+from repro.storage.retry import RetryingObjectStore
+from repro.storage.stats import IOStats, Request, RequestTrace
+
+__all__ = [
+    "CostModel",
+    "GB",
+    "HOURS_PER_MONTH",
+    "FaultRule",
+    "FaultyObjectStore",
+    "LatencyModel",
+    "InMemoryObjectStore",
+    "LocalFSObjectStore",
+    "ObjectInfo",
+    "ObjectStore",
+    "RetryingObjectStore",
+    "IOStats",
+    "Request",
+    "RequestTrace",
+]

@@ -1,0 +1,112 @@
+"""Fault injection for crash-safety tests.
+
+Wraps any :class:`~repro.storage.object_store.ObjectStore` and raises
+:class:`~repro.errors.InjectedFault` when a programmable trigger fires.
+The protocol test-suite uses this to kill indexers *before upload*,
+*before commit*, and compactors/vacuums mid-delete, then checks the
+Existence and Consistency invariants still hold (paper §IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import InjectedFault
+from repro.storage.object_store import ObjectInfo, ObjectStore
+
+
+@dataclass
+class FaultRule:
+    """Fires on the ``countdown``-th matching operation (0 = next one)."""
+
+    op: str  # "PUT" | "GET" | "DELETE" | "LIST" | "HEAD" | "*"
+    key_predicate: Callable[[str], bool] = lambda key: True
+    countdown: int = 0
+    fired: bool = field(default=False, init=False)
+
+    def matches(self, op: str, key: str) -> bool:
+        if self.fired:
+            return False
+        if self.op != "*" and self.op != op:
+            return False
+        if not self.key_predicate(key):
+            return False
+        if self.countdown > 0:
+            self.countdown -= 1
+            return False
+        self.fired = True
+        return True
+
+
+class FaultyObjectStore(ObjectStore):
+    """Pass-through store that raises on matching operations.
+
+    The fault fires *before* the operation reaches the inner store, so a
+    failed PUT leaves no partial object — matching S3's atomic-PUT
+    semantics. Crash-after-upload scenarios are expressed by triggering
+    on the *next* operation instead.
+    """
+
+    def __init__(self, inner: ObjectStore) -> None:
+        super().__init__(inner.clock)
+        self.inner = inner
+        self.rules: list[FaultRule] = []
+        # Share accounting with the inner store so stats stay unified.
+        self.stats = inner.stats
+
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def fail_next(
+        self,
+        op: str,
+        key_substring: str = "",
+        countdown: int = 0,
+    ) -> FaultRule:
+        """Convenience: fail the next (or countdown-th) op whose key
+        contains ``key_substring``."""
+        return self.add_rule(
+            FaultRule(
+                op=op,
+                key_predicate=lambda key: key_substring in key,
+                countdown=countdown,
+            )
+        )
+
+    def _check(self, op: str, key: str) -> None:
+        for rule in self.rules:
+            if rule.matches(op, key):
+                raise InjectedFault(f"injected fault on {op} {key!r}")
+
+    # -- delegated operations ----------------------------------------
+    def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
+        self._check("PUT", key)
+        return self.inner.put(key, data, if_none_match=if_none_match)
+
+    def get(self, key: str, byte_range: tuple[int, int] | None = None) -> bytes:
+        self._check("GET", key)
+        return self.inner.get(key, byte_range)
+
+    def head(self, key: str) -> ObjectInfo:
+        self._check("HEAD", key)
+        return self.inner.head(key)
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        self._check("LIST", prefix)
+        return self.inner.list(prefix)
+
+    def delete(self, key: str) -> None:
+        self._check("DELETE", key)
+        self.inner.delete(key)
+
+    # -- tracing is delegated so index code sees one trace ------------
+    def start_trace(self):
+        return self.inner.start_trace()
+
+    def stop_trace(self):
+        return self.inner.stop_trace()
+
+    def barrier(self) -> None:
+        self.inner.barrier()

@@ -1,0 +1,123 @@
+"""Filesystem-backed object store.
+
+Persists lakes and indices across processes (used by the CLI and the
+examples that want durable state). Keys map to files under a root
+directory; S3 semantics are emulated:
+
+* atomic PUT via write-to-temp + ``os.replace`` (readers never observe
+  partial objects),
+* conditional PUT (``if-none-match``) via ``O_CREAT | O_EXCL``, giving
+  the same compare-and-swap the transaction logs need,
+* object mtimes come from the store's clock (written to a sidecar-free
+  scheme: the file's own mtime is set with ``os.utime``), so the vacuum
+  timeout logic behaves identically to the in-memory store.
+
+POSIX-only in the sense that ``os.replace`` atomicity is assumed.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.errors import InvalidByteRange, ObjectNotFound, PreconditionFailed
+from repro.storage.object_store import ObjectInfo, ObjectStore
+from repro.util.clock import Clock, SystemClock
+
+
+class LocalFSObjectStore(ObjectStore):
+    """Object store rooted at a directory on the local filesystem."""
+
+    def __init__(self, root: str, clock: Clock | None = None) -> None:
+        super().__init__(clock if clock is not None else SystemClock())
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        if not key or key.startswith("/") or ".." in key.split("/"):
+            raise ValueError(f"invalid key {key!r}")
+        return os.path.join(self.root, *key.split("/"))
+
+    def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        mtime = self.clock.now()
+        with self._lock:
+            if if_none_match:
+                # O_EXCL makes creation the atomic commit point.
+                try:
+                    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+                except FileExistsError:
+                    self._record("PUT", key, 0)
+                    raise PreconditionFailed(key) from None
+                try:
+                    os.write(fd, data)
+                finally:
+                    os.close(fd)
+            else:
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), prefix=".upload-"
+                )
+                try:
+                    os.write(fd, data)
+                finally:
+                    os.close(fd)
+                os.replace(tmp, path)
+            os.utime(path, (mtime, mtime))
+            self._record("PUT", key, len(data))
+            return ObjectInfo(key=key, size=len(data), mtime=mtime)
+
+    def get(self, key: str, byte_range: tuple[int, int] | None = None) -> bytes:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                if byte_range is None:
+                    data = f.read()
+                    self._record("GET", key, len(data))
+                    return data
+                offset, length = byte_range
+                size = os.fstat(f.fileno()).st_size
+                if offset < 0 or length < 0 or offset + length > size:
+                    raise InvalidByteRange(
+                        f"range ({offset}, {length}) outside object "
+                        f"{key!r} of size {size}"
+                    )
+                f.seek(offset)
+                data = f.read(length)
+                self._record("GET", key, length)
+                return data
+        except FileNotFoundError:
+            raise ObjectNotFound(key) from None
+
+    def head(self, key: str) -> ObjectInfo:
+        path = self._path(key)
+        try:
+            stat = os.stat(path)
+        except FileNotFoundError:
+            raise ObjectNotFound(key) from None
+        self._record("HEAD", key, 0)
+        return ObjectInfo(key=key, size=stat.st_size, mtime=stat.st_mtime)
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        self._record("LIST", prefix, 0)
+        out = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.startswith(".upload-"):
+                    continue  # in-flight temp files are not objects
+                full = os.path.join(dirpath, name)
+                key = os.path.relpath(full, self.root).replace(os.sep, "/")
+                if not key.startswith(prefix):
+                    continue
+                stat = os.stat(full)
+                out.append(
+                    ObjectInfo(key=key, size=stat.st_size, mtime=stat.st_mtime)
+                )
+        return sorted(out, key=lambda i: i.key)
+
+    def delete(self, key: str) -> None:
+        self._record("DELETE", key, 0)
+        try:
+            os.remove(self._path(key))
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,187 @@
+"""Object store substrate.
+
+A minimal S3-like store offering exactly the primitives Rottnest's
+protocol assumes (paper §III, §IV):
+
+* strong read-after-write consistency (a PUT is immediately visible),
+* byte-range GETs,
+* LIST by prefix,
+* object modification timestamps from a single global clock, and
+* conditional PUT (``if-none-match``), used by the transaction logs of
+  the data lake and the metadata table to get atomic commits. (S3
+  supports this natively since late 2024; before that, DynamoDB played
+  the same role for Delta Lake. Either way it is a commodity primitive.)
+
+There is deliberately *no* atomic rename: the paper's protocol is
+designed to work without one (unlike Hyperspace), and this store keeps
+that constraint honest.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import InvalidByteRange, ObjectNotFound, PreconditionFailed
+from repro.storage.stats import IOStats, Request, RequestTrace
+from repro.util.clock import Clock, SimClock
+
+
+@dataclass(frozen=True)
+class ObjectInfo:
+    """Metadata for one stored object."""
+
+    key: str
+    size: int
+    mtime: float  # seconds, per the store's global clock
+
+
+class ObjectStore(ABC):
+    """Interface all stores implement.
+
+    Concrete stores call :meth:`_record` on every operation so IO stats
+    and request traces are maintained uniformly.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock: Clock = clock if clock is not None else SimClock()
+        self.stats = IOStats()
+        self._trace: RequestTrace | None = None
+        self._lock = threading.RLock()
+
+    # -- tracing -----------------------------------------------------
+    def start_trace(self) -> RequestTrace:
+        """Begin recording a dependency trace; returns the live trace."""
+        self._trace = RequestTrace()
+        return self._trace
+
+    def stop_trace(self) -> RequestTrace:
+        """Stop recording and return the finished trace."""
+        if self._trace is None:
+            raise RuntimeError("no trace in progress")
+        trace, self._trace = self._trace, None
+        return trace
+
+    def barrier(self) -> None:
+        """Mark a dependency point in the current trace (no-op if none)."""
+        if self._trace is not None:
+            self._trace.barrier()
+
+    def _record(self, op: str, key: str, nbytes: int) -> None:
+        request = Request(op=op, key=key, nbytes=nbytes)
+        self.stats.record(request)
+        if self._trace is not None:
+            self._trace.record(request)
+
+    # -- operations ---------------------------------------------------
+    @abstractmethod
+    def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
+        """Store ``data`` under ``key``.
+
+        With ``if_none_match=True`` the put fails with
+        :class:`PreconditionFailed` if the key already exists — the
+        compare-and-swap both transaction logs are built on.
+        """
+
+    @abstractmethod
+    def get(self, key: str, byte_range: tuple[int, int] | None = None) -> bytes:
+        """Fetch an object, or ``byte_range=(offset, length)`` of it."""
+
+    @abstractmethod
+    def head(self, key: str) -> ObjectInfo:
+        """Metadata for one object."""
+
+    @abstractmethod
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        """All objects whose key starts with ``prefix``, sorted by key."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove an object; deleting a missing key is a no-op (S3-like)."""
+
+    def exists(self, key: str) -> bool:
+        try:
+            self.head(key)
+            return True
+        except ObjectNotFound:
+            return False
+
+
+class InMemoryObjectStore(ObjectStore):
+    """Dict-backed store with S3 semantics; the default substrate.
+
+    Thread-safe; timestamps come from the store's clock so the vacuum
+    timeout logic is deterministic under :class:`SimClock`.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        super().__init__(clock)
+        self._objects: dict[str, tuple[bytes, float]] = {}
+
+    def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
+        if not key:
+            raise ValueError("empty key")
+        with self._lock:
+            if if_none_match and key in self._objects:
+                # A failed conditional PUT is still a billed request.
+                self._record("PUT", key, 0)
+                raise PreconditionFailed(key)
+            mtime = self.clock.now()
+            self._objects[key] = (bytes(data), mtime)
+            self._record("PUT", key, len(data))
+            return ObjectInfo(key=key, size=len(data), mtime=mtime)
+
+    def get(self, key: str, byte_range: tuple[int, int] | None = None) -> bytes:
+        with self._lock:
+            try:
+                data, _ = self._objects[key]
+            except KeyError:
+                raise ObjectNotFound(key) from None
+            if byte_range is None:
+                self._record("GET", key, len(data))
+                return data
+            offset, length = byte_range
+            if offset < 0 or length < 0 or offset + length > len(data):
+                raise InvalidByteRange(
+                    f"range ({offset}, {length}) outside object {key!r} "
+                    f"of size {len(data)}"
+                )
+            self._record("GET", key, length)
+            return data[offset : offset + length]
+
+    def head(self, key: str) -> ObjectInfo:
+        with self._lock:
+            try:
+                data, mtime = self._objects[key]
+            except KeyError:
+                raise ObjectNotFound(key) from None
+            self._record("HEAD", key, 0)
+            return ObjectInfo(key=key, size=len(data), mtime=mtime)
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        with self._lock:
+            self._record("LIST", prefix, 0)
+            return [
+                ObjectInfo(key=k, size=len(d), mtime=m)
+                for k, (d, m) in sorted(self._objects.items())
+                if k.startswith(prefix)
+            ]
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._record("DELETE", key, 0)
+            self._objects.pop(key, None)
+
+    # -- test/introspection helpers ----------------------------------
+    def keys(self) -> list[str]:
+        """All keys currently stored (not a billed operation)."""
+        with self._lock:
+            return sorted(self._objects)
+
+    def total_bytes(self, prefix: str = "") -> int:
+        """Total stored bytes under ``prefix`` (not a billed operation)."""
+        with self._lock:
+            return sum(
+                len(d) for k, (d, _) in self._objects.items() if k.startswith(prefix)
+            )

@@ -1,0 +1,101 @@
+"""Retrying object-store wrapper.
+
+Real object stores throw transient 5xx/throttling errors; clients retry
+with backoff. This wrapper retries idempotent operations (GET / HEAD /
+LIST / DELETE and plain PUT — an overwrite with identical bytes is
+idempotent) a bounded number of times. Conditional PUTs are **never**
+retried blindly: after a network error the first attempt may have
+landed, and retrying would misreport a success as
+:class:`~repro.errors.PreconditionFailed`; the transaction layers
+already handle that by re-reading.
+
+Backoff waits advance the store's clock, so tests with a
+:class:`~repro.util.clock.SimClock` stay instant and deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    InvalidByteRange,
+    ObjectNotFound,
+    ObjectStoreError,
+    PreconditionFailed,
+)
+from repro.storage.object_store import ObjectInfo, ObjectStore
+from repro.util.clock import SimClock
+
+#: Errors that are permanent facts about the request, never transient.
+_PERMANENT = (ObjectNotFound, PreconditionFailed, InvalidByteRange)
+
+
+class RetryingObjectStore(ObjectStore):
+    """Wraps a store with bounded exponential backoff on transient
+    failures."""
+
+    def __init__(
+        self,
+        inner: ObjectStore,
+        *,
+        max_attempts: int = 4,
+        base_backoff_s: float = 0.1,
+    ) -> None:
+        super().__init__(inner.clock)
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.inner = inner
+        self.max_attempts = max_attempts
+        self.base_backoff_s = base_backoff_s
+        self.stats = inner.stats
+        self.retries = 0
+
+    def _backoff(self, attempt: int) -> None:
+        delay = self.base_backoff_s * (2**attempt)
+        if isinstance(self.clock, SimClock):
+            self.clock.advance(delay)
+        else:  # pragma: no cover - wall-clock path
+            import time
+
+            time.sleep(delay)
+
+    def _retrying(self, operation, *args, **kwargs):
+        last: Exception | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return operation(*args, **kwargs)
+            except _PERMANENT:
+                raise
+            except ObjectStoreError as exc:
+                last = exc
+                self.retries += 1
+                if attempt + 1 < self.max_attempts:
+                    self._backoff(attempt)
+        raise last  # type: ignore[misc]
+
+    # -- operations ---------------------------------------------------
+    def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
+        if if_none_match:
+            # Not idempotent: a lost response may mean the put landed.
+            return self.inner.put(key, data, if_none_match=True)
+        return self._retrying(self.inner.put, key, data)
+
+    def get(self, key: str, byte_range: tuple[int, int] | None = None) -> bytes:
+        return self._retrying(self.inner.get, key, byte_range)
+
+    def head(self, key: str) -> ObjectInfo:
+        return self._retrying(self.inner.head, key)
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        return self._retrying(self.inner.list, prefix)
+
+    def delete(self, key: str) -> None:
+        return self._retrying(self.inner.delete, key)
+
+    # -- tracing delegates to the inner store --------------------------
+    def start_trace(self):
+        return self.inner.start_trace()
+
+    def stop_trace(self):
+        return self.inner.stop_trace()
+
+    def barrier(self) -> None:
+        self.inner.barrier()

@@ -1,0 +1,142 @@
+"""IO accounting for object stores.
+
+Every store operation is recorded twice:
+
+* into cumulative :class:`IOStats` counters (cheap, always on), used by
+  the cost model to price a workload run; and
+* optionally into a :class:`RequestTrace`, which additionally preserves
+  the *dependency structure* of requests (which requests were issued in
+  parallel vs. sequentially). The latency model turns a trace into an
+  estimated wall-clock latency, reproducing the paper's width-vs-depth
+  analysis of object storage access (Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Request:
+    """One object-store request, as seen by the latency/cost models."""
+
+    op: str  # "GET" | "PUT" | "LIST" | "DELETE" | "HEAD"
+    key: str
+    nbytes: int  # payload bytes moved (0 for DELETE/HEAD, per-entry for LIST)
+
+
+@dataclass
+class IOStats:
+    """Cumulative operation counters for one store instance."""
+
+    gets: int = 0
+    puts: int = 0
+    lists: int = 0
+    deletes: int = 0
+    heads: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def record(self, request: Request) -> None:
+        if request.op == "GET":
+            self.gets += 1
+            self.bytes_read += request.nbytes
+        elif request.op == "PUT":
+            self.puts += 1
+            self.bytes_written += request.nbytes
+        elif request.op == "LIST":
+            self.lists += 1
+        elif request.op == "DELETE":
+            self.deletes += 1
+        elif request.op == "HEAD":
+            self.heads += 1
+        else:
+            raise ValueError(f"unknown op {request.op!r}")
+
+    def snapshot(self) -> "IOStats":
+        """Copy of the current counters (for before/after deltas)."""
+        return IOStats(
+            gets=self.gets,
+            puts=self.puts,
+            lists=self.lists,
+            deletes=self.deletes,
+            heads=self.heads,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+        )
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return IOStats(
+            gets=self.gets - earlier.gets,
+            puts=self.puts - earlier.puts,
+            lists=self.lists - earlier.lists,
+            deletes=self.deletes - earlier.deletes,
+            heads=self.heads - earlier.heads,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+        )
+
+
+class RequestTrace:
+    """Requests grouped into sequential *rounds*.
+
+    Requests inside one round are independent and issued in parallel;
+    round ``i + 1`` depends on the results of round ``i``. Code under a
+    trace calls :meth:`barrier` whenever its next request needs data from
+    a previous one — e.g. descending one componentized trie level.
+    """
+
+    def __init__(self) -> None:
+        self.rounds: list[list[Request]] = [[]]
+
+    def record(self, request: Request) -> None:
+        self.rounds[-1].append(request)
+
+    def barrier(self) -> None:
+        """Start a new dependent round (no-op if the round is empty)."""
+        if self.rounds[-1]:
+            self.rounds.append([])
+
+    @property
+    def depth(self) -> int:
+        """Number of non-empty dependent rounds (the access *depth*)."""
+        return sum(1 for r in self.rounds if r)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(r) for r in self.rounds)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(req.nbytes for r in self.rounds for req in r)
+
+    def then(self, other: "RequestTrace") -> "RequestTrace":
+        """Sequential composition: ``other`` starts after this trace's
+        last round completes (e.g. probing after index queries)."""
+        combined = RequestTrace()
+        combined.rounds = [list(r) for r in self.rounds if r]
+        combined.rounds.extend(list(r) for r in other.rounds if r)
+        if not combined.rounds:
+            combined.rounds = [[]]
+        return combined
+
+    def merge_parallel(self, other: "RequestTrace") -> "RequestTrace":
+        """Combine with a trace that executed concurrently.
+
+        Round ``i`` of the result is the union of round ``i`` of both
+        traces; used when several index files are queried in parallel.
+        """
+        merged = RequestTrace()
+        n = max(len(self.rounds), len(other.rounds))
+        merged.rounds = []
+        for i in range(n):
+            combined: list[Request] = []
+            if i < len(self.rounds):
+                combined.extend(self.rounds[i])
+            if i < len(other.rounds):
+                combined.extend(other.rounds[i])
+            merged.rounds.append(combined)
+        if not merged.rounds:
+            merged.rounds = [[]]
+        return merged

@@ -1,0 +1,40 @@
+"""TCO phase-diagram evaluation framework (paper §VI)."""
+
+from repro.tco.model import (
+    ApproachCost,
+    brute_force_cost,
+    copy_data_cost,
+    rottnest_cost,
+)
+from repro.tco.phase import (
+    PhaseDiagram,
+    cheapest_feasible,
+    compute_phase_diagram,
+    feasible,
+)
+from repro.tco.render import describe_boundaries, render
+from repro.tco.sensitivity import SensitivityPoint, scaled_rottnest, sweep
+from repro.tco.throughput import (
+    ThroughputAnalysis,
+    ThroughputModel,
+    throughput_analysis,
+)
+
+__all__ = [
+    "ApproachCost",
+    "copy_data_cost",
+    "brute_force_cost",
+    "rottnest_cost",
+    "PhaseDiagram",
+    "compute_phase_diagram",
+    "cheapest_feasible",
+    "feasible",
+    "render",
+    "describe_boundaries",
+    "SensitivityPoint",
+    "scaled_rottnest",
+    "sweep",
+    "ThroughputAnalysis",
+    "ThroughputModel",
+    "throughput_analysis",
+]

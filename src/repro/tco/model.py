@@ -1,0 +1,96 @@
+"""Total-cost-of-ownership model (paper §VI).
+
+Each approach is summarized by three numbers (plus an optional one-time
+index cost)::
+
+    TCO(months, queries) = index_cost
+                         + cost_per_month * months
+                         + cost_per_query * queries
+
+* copy-data folds indexing and querying into ``cost_per_month``
+  (``cpm_i``),
+* brute force has no index cost, tiny ``cpm_bf`` (S3 storage of the
+  compressed data), huge ``cpq_bf``,
+* Rottnest has one-time ``ic_r``, moderate ``cpm_r`` (data + index
+  storage), small ``cpq_r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import TCOError
+
+
+@dataclass(frozen=True)
+class ApproachCost:
+    """One approach's cost coefficients (dollars)."""
+
+    name: str
+    cost_per_month: float
+    cost_per_query: float = 0.0
+    index_cost: float = 0.0
+    min_latency_s: float = 0.0  # informational; not part of TCO
+
+    def __post_init__(self) -> None:
+        if self.cost_per_month < 0 or self.cost_per_query < 0 or self.index_cost < 0:
+            raise TCOError(f"negative cost in {self!r}")
+
+    def tco(self, months: float, queries: float) -> float:
+        """Total cost of owning this system for a workload point."""
+        if months < 0 or queries < 0:
+            raise TCOError(f"negative workload point ({months}, {queries})")
+        return (
+            self.index_cost
+            + self.cost_per_month * months
+            + self.cost_per_query * queries
+        )
+
+    def scaled(
+        self,
+        *,
+        index_cost: float = 1.0,
+        cost_per_month: float = 1.0,
+        cost_per_query: float = 1.0,
+    ) -> "ApproachCost":
+        """Copy with coefficients multiplied (sensitivity analysis)."""
+        return replace(
+            self,
+            index_cost=self.index_cost * index_cost,
+            cost_per_month=self.cost_per_month * cost_per_month,
+            cost_per_query=self.cost_per_query * cost_per_query,
+        )
+
+
+def copy_data_cost(name: str, monthly: float, latency_s: float = 0.03) -> ApproachCost:
+    """Copy-data approach: constant monthly burn, nothing else."""
+    return ApproachCost(
+        name=name, cost_per_month=monthly, min_latency_s=latency_s
+    )
+
+
+def brute_force_cost(
+    name: str, storage_monthly: float, per_query: float, latency_s: float
+) -> ApproachCost:
+    return ApproachCost(
+        name=name,
+        cost_per_month=storage_monthly,
+        cost_per_query=per_query,
+        min_latency_s=latency_s,
+    )
+
+
+def rottnest_cost(
+    name: str,
+    index_cost: float,
+    storage_monthly: float,
+    per_query: float,
+    latency_s: float,
+) -> ApproachCost:
+    return ApproachCost(
+        name=name,
+        index_cost=index_cost,
+        cost_per_month=storage_monthly,
+        cost_per_query=per_query,
+        min_latency_s=latency_s,
+    )

@@ -1,0 +1,174 @@
+"""Phase-change diagrams: which approach is cheapest where (§VI, Fig. 7/9).
+
+A diagram is a log-log grid over (months of operation, total normalized
+queries); each cell holds the index of the approach with the lowest TCO
+there. Boundary extraction gives the query counts where the winner flips
+at each operating duration — the lines of Figs. 7, 9, 11 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TCOError
+from repro.tco.model import ApproachCost
+
+DEFAULT_MONTHS_RANGE = (0.03, 120.0)  # ~1 day .. 10 years
+DEFAULT_QUERIES_RANGE = (1.0, 1e9)
+
+
+@dataclass(frozen=True)
+class PhaseDiagram:
+    """Computed winner grid."""
+
+    approaches: tuple[ApproachCost, ...]
+    months: np.ndarray  # (nm,) log-spaced
+    queries: np.ndarray  # (nq,) log-spaced
+    winner: np.ndarray  # (nq, nm) int indices into approaches
+
+    def winner_at(self, months: float, queries: float) -> ApproachCost:
+        """Cheapest approach at an exact (not grid-snapped) point."""
+        costs = [a.tco(months, queries) for a in self.approaches]
+        return self.approaches[int(np.argmin(costs))]
+
+    def share(self, name: str) -> float:
+        """Fraction of grid cells won by the named approach."""
+        idx = self._index_of(name)
+        return float(np.mean(self.winner == idx))
+
+    def win_band(self, name: str, months: float) -> tuple[float, float] | None:
+        """(min, max) query counts where ``name`` wins at ``months``.
+
+        Uses exact TCO comparison on a fine query grid. None if the
+        approach never wins at that duration.
+        """
+        idx = self._index_of(name)
+        fine = np.geomspace(self.queries[0], self.queries[-1], 2048)
+        tcos = np.stack(
+            [
+                a.index_cost + a.cost_per_month * months + a.cost_per_query * fine
+                for a in self.approaches
+            ]
+        )
+        winners = np.argmin(tcos, axis=0)
+        hits = np.nonzero(winners == idx)[0]
+        if not len(hits):
+            return None
+        return float(fine[hits[0]]), float(fine[hits[-1]])
+
+    def orders_of_magnitude_won(self, name: str, months: float) -> float:
+        """log10 span of the win band (the paper's ">= 4 orders of
+        magnitude at 10 months" metric)."""
+        band = self.win_band(name, months)
+        if band is None or band[0] <= 0:
+            return 0.0
+        return float(np.log10(band[1] / band[0]))
+
+    def break_even_months(self, name: str, queries: float) -> float | None:
+        """Earliest duration at which ``name`` becomes the winner for a
+        fixed query count (the "2 days for substring search" onset)."""
+        idx = self._index_of(name)
+        fine = np.geomspace(self.months[0], self.months[-1], 2048)
+        tcos = np.stack(
+            [
+                a.index_cost + a.cost_per_month * fine + a.cost_per_query * queries
+                for a in self.approaches
+            ]
+        )
+        winners = np.argmin(tcos, axis=0)
+        hits = np.nonzero(winners == idx)[0]
+        if not len(hits):
+            return None
+        return float(fine[hits[0]])
+
+    def boundary(self, months: float) -> list[tuple[float, str, str]]:
+        """Winner transitions along the query axis at ``months``:
+        list of (query_count, loser, winner) flips, bottom-up."""
+        fine = np.geomspace(self.queries[0], self.queries[-1], 2048)
+        tcos = np.stack(
+            [
+                a.index_cost + a.cost_per_month * months + a.cost_per_query * fine
+                for a in self.approaches
+            ]
+        )
+        winners = np.argmin(tcos, axis=0)
+        flips = []
+        for i in range(1, len(fine)):
+            if winners[i] != winners[i - 1]:
+                flips.append(
+                    (
+                        float(fine[i]),
+                        self.approaches[winners[i - 1]].name,
+                        self.approaches[winners[i]].name,
+                    )
+                )
+        return flips
+
+    def _index_of(self, name: str) -> int:
+        for i, a in enumerate(self.approaches):
+            if a.name == name:
+                return i
+        raise TCOError(
+            f"no approach {name!r}; have {[a.name for a in self.approaches]}"
+        )
+
+
+def feasible(approaches: list[ApproachCost], sla_s: float) -> list[ApproachCost]:
+    """Approaches whose minimum latency meets an SLA (Fig. 2's axis).
+
+    The TCO comparison assumes no latency constraint (§VI); when one
+    exists, infeasible approaches drop out before cost is compared —
+    e.g. a sub-second SLA removes both brute force and Rottnest,
+    leaving copy-data alone regardless of cost.
+    """
+    if sla_s <= 0:
+        raise TCOError(f"SLA must be positive, got {sla_s}")
+    return [a for a in approaches if a.min_latency_s <= sla_s]
+
+
+def cheapest_feasible(
+    approaches: list[ApproachCost],
+    *,
+    months: float,
+    queries: float,
+    sla_s: float | None = None,
+) -> ApproachCost | None:
+    """The recommendation function behind Figure 2: cheapest approach
+    that also meets the latency SLA (None if nothing does)."""
+    candidates = feasible(approaches, sla_s) if sla_s is not None else approaches
+    if not candidates:
+        return None
+    return min(candidates, key=lambda a: a.tco(months, queries))
+
+
+def compute_phase_diagram(
+    approaches: list[ApproachCost],
+    *,
+    months_range: tuple[float, float] = DEFAULT_MONTHS_RANGE,
+    queries_range: tuple[float, float] = DEFAULT_QUERIES_RANGE,
+    resolution: int = 96,
+) -> PhaseDiagram:
+    """Evaluate TCO over a log-log grid and record the winner per cell."""
+    if len(approaches) < 2:
+        raise TCOError("need at least two approaches to compare")
+    if months_range[0] <= 0 or queries_range[0] <= 0:
+        raise TCOError("phase diagram axes must be strictly positive")
+    months = np.geomspace(*months_range, resolution)
+    queries = np.geomspace(*queries_range, resolution)
+    month_grid = months.reshape(1, -1)
+    query_grid = queries.reshape(-1, 1)
+    tcos = np.stack(
+        [
+            a.index_cost + a.cost_per_month * month_grid + a.cost_per_query * query_grid
+            for a in approaches
+        ]
+    )
+    winner = np.argmin(tcos, axis=0)
+    return PhaseDiagram(
+        approaches=tuple(approaches),
+        months=months,
+        queries=queries,
+        winner=winner,
+    )

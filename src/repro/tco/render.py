@@ -1,0 +1,57 @@
+"""Text rendering of phase diagrams for benchmark output.
+
+Benchmarks print these so the reproduced figures can be eyeballed next
+to the paper's: queries on the y-axis (log, decreasing downward-to-top
+style of the paper: top = many queries), months on the x-axis (log).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tco.phase import PhaseDiagram
+
+#: Cell glyph per approach slot (copy-data, brute force, Rottnest, ...).
+GLYPHS = "CBR*+x"
+
+
+def render(diagram: PhaseDiagram, *, width: int = 64, height: int = 24) -> str:
+    """ASCII phase diagram with axes and a legend."""
+    rows = []
+    nq, nm = diagram.winner.shape
+    q_idx = np.linspace(nq - 1, 0, height).astype(int)
+    m_idx = np.linspace(0, nm - 1, width).astype(int)
+    for qi in q_idx:
+        queries = diagram.queries[qi]
+        line = "".join(GLYPHS[diagram.winner[qi, mi]] for mi in m_idx)
+        rows.append(f"{queries:9.1e} |{line}|")
+    footer = " " * 11 + "+" + "-" * width + "+"
+    months_lo = f"{diagram.months[0]:.2g}"
+    months_hi = f"{diagram.months[-1]:.3g}"
+    axis = (
+        " " * 12
+        + months_lo
+        + " " * max(1, width - len(months_lo) - len(months_hi))
+        + months_hi
+        + "  (months)"
+    )
+    legend = "  ".join(
+        f"{GLYPHS[i]}={a.name}" for i, a in enumerate(diagram.approaches)
+    )
+    return "\n".join(rows + [footer, axis, "legend: " + legend])
+
+
+def describe_boundaries(diagram: PhaseDiagram, months_points: list[float]) -> str:
+    """One line per duration: where the winner flips along queries."""
+    lines = []
+    for months in months_points:
+        flips = diagram.boundary(months)
+        if not flips:
+            winner = diagram.winner_at(months, float(diagram.queries[0])).name
+            lines.append(f"{months:7.2f} months: {winner} everywhere")
+            continue
+        parts = [
+            f"{loser}->{winner} @ {q:.2e} queries" for q, loser, winner in flips
+        ]
+        lines.append(f"{months:7.2f} months: " + "; ".join(parts))
+    return "\n".join(lines)

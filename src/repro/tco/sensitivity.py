@@ -1,0 +1,92 @@
+"""Sensitivity analysis over the TCO parameters (§VII-D1, Fig. 12).
+
+Scales one Rottnest coefficient at a time (``cpq_r``, ``ic_r``, or the
+index-attributable part of ``cpm_r``) by a set of factors and reports
+how the phase boundaries move. The paper's takeaways this reproduces:
+
+* cheaper queries (``cpq_r`` down) push the Rottnest/copy-data boundary
+  up, barely moving the brute-force boundary;
+* a smaller index (``cpm_r`` down) does the opposite;
+* cheaper indexing (``ic_r`` down) only moves the short-horizon onset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TCOError
+from repro.tco.model import ApproachCost
+from repro.tco.phase import PhaseDiagram, compute_phase_diagram
+
+PARAMETERS = ("cost_per_query", "index_cost", "index_storage_monthly")
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    parameter: str
+    factor: float
+    diagram: PhaseDiagram
+    win_band_at_10_months: tuple[float, float] | None
+
+
+def scaled_rottnest(
+    rottnest: ApproachCost,
+    brute: ApproachCost,
+    parameter: str,
+    factor: float,
+) -> ApproachCost:
+    """Rottnest coefficients with one parameter scaled.
+
+    ``index_storage_monthly`` scales only ``cpm_r - cpm_bf`` — the
+    storage attributable to the index files, since the raw data's S3
+    cost is paid regardless (paper Fig. 12 does exactly this).
+    """
+    if factor <= 0:
+        raise TCOError(f"scale factor must be positive, got {factor}")
+    if parameter == "cost_per_query":
+        return rottnest.scaled(cost_per_query=factor)
+    if parameter == "index_cost":
+        return rottnest.scaled(index_cost=factor)
+    if parameter == "index_storage_monthly":
+        index_part = rottnest.cost_per_month - brute.cost_per_month
+        if index_part < 0:
+            raise TCOError(
+                "Rottnest monthly cost below brute force; cannot isolate "
+                "index storage"
+            )
+        new_monthly = brute.cost_per_month + index_part * factor
+        return ApproachCost(
+            name=rottnest.name,
+            cost_per_month=new_monthly,
+            cost_per_query=rottnest.cost_per_query,
+            index_cost=rottnest.index_cost,
+            min_latency_s=rottnest.min_latency_s,
+        )
+    raise TCOError(f"unknown parameter {parameter!r}; known: {PARAMETERS}")
+
+
+def sweep(
+    rottnest: ApproachCost,
+    brute: ApproachCost,
+    copy_data: ApproachCost,
+    *,
+    parameter: str,
+    factors: list[float],
+    resolution: int = 96,
+) -> list[SensitivityPoint]:
+    """Phase diagram per scale factor for one parameter."""
+    points = []
+    for factor in factors:
+        scaled = scaled_rottnest(rottnest, brute, parameter, factor)
+        diagram = compute_phase_diagram(
+            [copy_data, brute, scaled], resolution=resolution
+        )
+        points.append(
+            SensitivityPoint(
+                parameter=parameter,
+                factor=factor,
+                diagram=diagram,
+                win_band_at_10_months=diagram.win_band(rottnest.name, 10.0),
+            )
+        )
+    return points

@@ -1,0 +1,15 @@
+"""Small shared utilities: simulated clock, varints, binary IO helpers."""
+
+from repro.util.binio import BinaryReader, BinaryWriter
+from repro.util.clock import Clock, SimClock, SystemClock
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "SystemClock",
+    "encode_uvarint",
+    "decode_uvarint",
+    "BinaryReader",
+    "BinaryWriter",
+]

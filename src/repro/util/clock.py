@@ -1,0 +1,52 @@
+"""Clock abstraction.
+
+The Rottnest ``vacuum`` protocol depends on object timestamps measured
+against *the object store's* clock (the paper relies on modern object
+stores having a single global clock). Using a simulated clock makes the
+timeout logic deterministic and instantly testable: tests advance time
+explicitly instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Source of the current time in seconds (float, epoch-like)."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in seconds."""
+
+
+class SystemClock(Clock):
+    """Wall-clock time; used when running against real infrastructure."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class SimClock(Clock):
+    """Deterministic manually-advanced clock for tests and simulation."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards by {seconds}s")
+        self._now += seconds
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time, which must not be in the past."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot set clock to {timestamp} before current {self._now}"
+            )
+        self._now = timestamp

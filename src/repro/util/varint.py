@@ -1,0 +1,44 @@
+"""Unsigned LEB128 varints, used throughout the on-"disk" formats.
+
+Posting lists, page tables and component offset arrays store many small
+integers; varints keep index files compact, which directly lowers the
+``cpm_r`` storage term in the TCO model.
+"""
+
+from __future__ import annotations
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as LEB128."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 integer from ``data`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("uvarint too long (more than 64 bits)")

@@ -1,0 +1,14 @@
+"""Synthetic workload generators standing in for the paper's datasets."""
+
+from repro.workloads.text import TextWorkload
+from repro.workloads.uuids import UuidWorkload, uuid_key
+from repro.workloads.vectors import VectorWorkload, exact_knn, recall_at_k
+
+__all__ = [
+    "TextWorkload",
+    "UuidWorkload",
+    "uuid_key",
+    "VectorWorkload",
+    "exact_knn",
+    "recall_at_k",
+]

@@ -1,0 +1,95 @@
+"""Shared fixtures: stores, lakes, and small indexed datasets."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.client import RottnestClient
+from repro.formats.schema import ColumnType, Field, Schema
+from repro.lake.table import LakeTable, TableConfig
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.clock import SimClock
+from repro.workloads.text import TextWorkload
+from repro.workloads.uuids import UuidWorkload
+from repro.workloads.vectors import VectorWorkload
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock(start=1_000_000.0)
+
+
+@pytest.fixture
+def store(clock) -> InMemoryObjectStore:
+    return InMemoryObjectStore(clock=clock)
+
+
+@pytest.fixture
+def small_config() -> TableConfig:
+    """Tiny pages/row-groups so tests exercise multi-page layouts."""
+    return TableConfig(row_group_rows=200, page_target_bytes=2048)
+
+
+EVENT_SCHEMA = Schema.of(
+    Field("uuid", ColumnType.BINARY),
+    Field("text", ColumnType.STRING),
+    Field("emb", ColumnType.VECTOR, vector_dim=16),
+)
+
+
+def event_batch(n: int, seed: int) -> dict:
+    """Deterministic batch for the three-column event table."""
+    text_gen = TextWorkload(seed=seed, vocabulary_size=300)
+    rng = np.random.default_rng(seed)
+    return {
+        "uuid": [
+            hashlib.sha256(f"{seed}-{i}".encode()).digest()[:16] for i in range(n)
+        ],
+        "text": text_gen.documents(n, avg_chars=60),
+        "emb": rng.normal(size=(n, 16)).astype(np.float32),
+    }
+
+
+def event_uuid(seed: int, i: int) -> bytes:
+    return hashlib.sha256(f"{seed}-{i}".encode()).digest()[:16]
+
+
+@pytest.fixture
+def event_lake(store, small_config) -> LakeTable:
+    """A lake with two appended files of 300 rows each."""
+    lake = LakeTable.create(store, "lake/events", EVENT_SCHEMA, small_config)
+    lake.append(event_batch(300, seed=1))
+    lake.append(event_batch(300, seed=2))
+    return lake
+
+
+@pytest.fixture
+def client(store, event_lake) -> RottnestClient:
+    return RottnestClient(store, "idx/events", event_lake)
+
+
+@pytest.fixture
+def indexed_client(client) -> RottnestClient:
+    """Client with all three index types built on the event lake."""
+    client.index("uuid", "uuid_trie")
+    client.index("text", "fm", params={"block_size": 4096, "sample_rate": 16})
+    client.index("emb", "ivf_pq", params={"nlist": 8, "m": 8})
+    return client
+
+
+@pytest.fixture
+def text_workload() -> TextWorkload:
+    return TextWorkload(seed=7, vocabulary_size=500)
+
+
+@pytest.fixture
+def uuid_workload() -> UuidWorkload:
+    return UuidWorkload(seed=7)
+
+
+@pytest.fixture
+def vector_workload() -> VectorWorkload:
+    return VectorWorkload(dim=16, n_clusters=8, seed=7)

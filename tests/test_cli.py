@@ -1,0 +1,271 @@
+"""CLI: end-to-end operation of a disk-backed lake via `python -m repro`."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cli import main, parse_schema
+from repro.errors import ReproError
+from repro.formats.schema import ColumnType
+
+
+@pytest.fixture
+def bucket(tmp_path):
+    return str(tmp_path / "bucket")
+
+
+def run(capsys, *argv) -> tuple[int, str]:
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestParseSchema:
+    def test_basic(self):
+        schema = parse_schema("ts:int64,body:string,emb:vector:8")
+        assert schema.names == ["ts", "body", "emb"]
+        assert schema.field("emb").vector_dim == 8
+        assert schema.field("ts").type is ColumnType.INT64
+
+    def test_bad_type(self):
+        with pytest.raises(ReproError):
+            parse_schema("x:floaty")
+
+    def test_bad_shape(self):
+        with pytest.raises(ReproError):
+            parse_schema("justname")
+
+
+class TestCliLifecycle:
+    def _create(self, capsys, bucket):
+        code, out = run(
+            capsys,
+            "create-table",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--schema", "request_id:binary,message:string",
+            "--row-group-rows", "100",
+            "--page-target-bytes", "1024",
+        )
+        assert code == 0
+        assert "created table" in out
+
+    def _append(self, capsys, bucket, tmp_path, n=250, seed=1):
+        rows = []
+        for i in range(n):
+            key = hashlib.sha256(f"{seed}-{i}".encode()).digest()[:16]
+            rows.append(
+                json.dumps(
+                    {"request_id": key.hex(), "message": f"event {seed}-{i}"}
+                )
+            )
+        jsonl = tmp_path / f"batch{seed}.jsonl"
+        jsonl.write_text("\n".join(rows))
+        code, out = run(
+            capsys,
+            "append",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--jsonl", str(jsonl),
+        )
+        assert code == 0
+        assert f"appended {n} rows" in out
+
+    def test_full_lifecycle(self, capsys, bucket, tmp_path):
+        self._create(capsys, bucket)
+        self._append(capsys, bucket, tmp_path, seed=1)
+        self._append(capsys, bucket, tmp_path, seed=2)
+
+        code, out = run(
+            capsys,
+            "index",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--index-dir", "idx/logs",
+            "--column", "request_id",
+            "--type", "uuid_trie",
+        )
+        assert code == 0
+        assert "indexed 500 rows" in out
+
+        target = hashlib.sha256(b"1-42").digest()[:16]
+        code, out = run(
+            capsys,
+            "search",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--index-dir", "idx/logs",
+            "--column", "request_id",
+            "--uuid", target.hex(),
+            "-k", "5",
+        )
+        assert code == 0
+        hits = [json.loads(line) for line in out.splitlines() if line]
+        assert len(hits) == 1
+        assert hits[0]["value"] == target.hex()
+
+        code, out = run(
+            capsys,
+            "search",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--index-dir", "idx/logs",
+            "--column", "message",
+            "--substring", "event 2-7",
+            "-k", "100",
+        )
+        assert code == 0
+        # "event 2-7", "event 2-70".."2-79": brute-forced (no fm index),
+        # still correct.
+        assert len(out.splitlines()) == 11
+
+        code, out = run(
+            capsys,
+            "info",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--index-dir", "idx/logs",
+        )
+        assert code == 0
+        assert "rows:      500" in out
+        assert "uuid_trie" in out
+
+    def test_compact_and_vacuum(self, capsys, bucket, tmp_path):
+        self._create(capsys, bucket)
+        for seed in (1, 2):
+            self._append(capsys, bucket, tmp_path, seed=seed)
+            code, _ = run(
+                capsys,
+                "index",
+                "--root", bucket,
+                "--table", "lake/logs",
+                "--index-dir", "idx/logs",
+                "--column", "request_id",
+                "--type", "uuid_trie",
+            )
+            assert code == 0
+        code, out = run(
+            capsys,
+            "compact",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--index-dir", "idx/logs",
+            "--column", "request_id",
+            "--type", "uuid_trie",
+        )
+        assert code == 0
+        assert "compacted into 1" in out
+        code, out = run(
+            capsys,
+            "vacuum",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--index-dir", "idx/logs",
+        )
+        assert code == 0
+        assert "deleted 2 record(s)" in out
+
+    def test_index_with_params(self, capsys, bucket, tmp_path):
+        self._create(capsys, bucket)
+        self._append(capsys, bucket, tmp_path)
+        code, out = run(
+            capsys,
+            "index",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--index-dir", "idx/logs",
+            "--column", "message",
+            "--type", "fm",
+            "--param", "block_size=2048",
+            "--param", "store_pagemap=false",
+        )
+        assert code == 0
+        assert "indexed" in out
+
+    def test_search_requires_one_query(self, capsys, bucket, tmp_path):
+        self._create(capsys, bucket)
+        self._append(capsys, bucket, tmp_path, n=10)
+        code, _ = run(
+            capsys,
+            "search",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--index-dir", "idx/logs",
+            "--column", "message",
+        )
+        assert code == 1
+
+    def test_append_rejects_missing_column(self, capsys, bucket, tmp_path):
+        self._create(capsys, bucket)
+        jsonl = tmp_path / "bad.jsonl"
+        jsonl.write_text(json.dumps({"request_id": "00ff"}))
+        code, _ = run(
+            capsys,
+            "append",
+            "--root", bucket,
+            "--table", "lake/logs",
+            "--jsonl", str(jsonl),
+        )
+        assert code == 1
+
+    def test_range_query(self, capsys, bucket, tmp_path):
+        code, _ = run(
+            capsys, "create-table", "--root", bucket, "--table", "lake/ts",
+            "--schema", "ts:int64", "--row-group-rows", "128",
+        )
+        assert code == 0
+        jsonl = tmp_path / "ts.jsonl"
+        jsonl.write_text("\n".join(json.dumps({"ts": i}) for i in range(400)))
+        code, _ = run(
+            capsys, "append", "--root", bucket, "--table", "lake/ts",
+            "--jsonl", str(jsonl),
+        )
+        assert code == 0
+        code, _ = run(
+            capsys, "index", "--root", bucket, "--table", "lake/ts",
+            "--index-dir", "idx/ts", "--column", "ts", "--type", "minmax",
+        )
+        assert code == 0
+        code, out = run(
+            capsys, "search", "--root", bucket, "--table", "lake/ts",
+            "--index-dir", "idx/ts", "--column", "ts",
+            "--range", "100", "104", "-k", "100",
+        )
+        assert code == 0
+        values = sorted(json.loads(l)["value"] for l in out.splitlines())
+        assert values == [100, 101, 102, 103, 104]
+
+    def test_vector_roundtrip(self, capsys, bucket, tmp_path):
+        code, _ = run(
+            capsys,
+            "create-table",
+            "--root", bucket,
+            "--table", "lake/vec",
+            "--schema", "emb:vector:4",
+            "--row-group-rows", "512",
+        )
+        assert code == 0
+        rows = [
+            json.dumps({"emb": [float(i), 0.0, 0.0, 0.0]}) for i in range(300)
+        ]
+        jsonl = tmp_path / "vec.jsonl"
+        jsonl.write_text("\n".join(rows))
+        code, _ = run(
+            capsys, "append", "--root", bucket, "--table", "lake/vec",
+            "--jsonl", str(jsonl),
+        )
+        assert code == 0
+        code, _ = run(
+            capsys, "index", "--root", bucket, "--table", "lake/vec",
+            "--index-dir", "idx/vec", "--column", "emb", "--type", "ivf_pq",
+            "--param", "nlist=8", "--param", "m=2",
+        )
+        assert code == 0
+        code, out = run(
+            capsys, "search", "--root", bucket, "--table", "lake/vec",
+            "--index-dir", "idx/vec", "--column", "emb",
+            "--vector", "[7.1, 0.0, 0.0, 0.0]", "-k", "1",
+        )
+        assert code == 0
+        hit = json.loads(out.splitlines()[0])
+        assert hit["value"][0] == pytest.approx(7.0)

@@ -1,0 +1,83 @@
+"""CLI fsck subcommand."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+@pytest.fixture
+def deployment(tmp_path, capsys):
+    bucket = str(tmp_path / "bucket")
+    assert (
+        main(
+            [
+                "create-table", "--root", bucket, "--table", "lake/t",
+                "--schema", "request_id:binary",
+                "--row-group-rows", "100",
+            ]
+        )
+        == 0
+    )
+    rows = [
+        json.dumps(
+            {"request_id": hashlib.sha256(str(i).encode()).digest()[:16].hex()}
+        )
+        for i in range(200)
+    ]
+    jsonl = tmp_path / "rows.jsonl"
+    jsonl.write_text("\n".join(rows))
+    assert (
+        main(["append", "--root", bucket, "--table", "lake/t",
+              "--jsonl", str(jsonl)])
+        == 0
+    )
+    assert (
+        main(
+            ["index", "--root", bucket, "--table", "lake/t",
+             "--index-dir", "idx/t", "--column", "request_id",
+             "--type", "uuid_trie"]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    return bucket
+
+
+class TestCliFsck:
+    def test_clean(self, deployment, capsys):
+        code, out = run(
+            capsys, "fsck", "--root", deployment, "--table", "lake/t",
+            "--index-dir", "idx/t",
+        )
+        assert code == 0
+        assert "invariants: OK" in out
+
+    def test_fast_mode(self, deployment, capsys):
+        code, out = run(
+            capsys, "fsck", "--root", deployment, "--table", "lake/t",
+            "--index-dir", "idx/t", "--fast",
+        )
+        assert code == 0
+        assert "covered files verified: 0" in out
+
+    def test_violation_exit_code(self, deployment, capsys, tmp_path):
+        # Delete the index file behind the metadata table's back.
+        from repro.storage.localfs import LocalFSObjectStore
+
+        store = LocalFSObjectStore(deployment)
+        victim = [i.key for i in store.list("idx/t/files/")][0]
+        store.delete(victim)
+        code, out = run(
+            capsys, "fsck", "--root", deployment, "--table", "lake/t",
+            "--index-dir", "idx/t",
+        )
+        assert code == 2
+        assert "VIOLATED" in out

@@ -1,0 +1,195 @@
+"""Componentized index file container (§V-B) and the page directory."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.core.componentize import (
+    TAIL_SPECULATIVE_BYTES,
+    ComponentFileReader,
+    ComponentFileWriter,
+)
+from repro.core.index_file import IndexFileReader, IndexFileWriter, PageDirectory
+from repro.formats.page_reader import PageEntry, PageTable
+from repro.storage.object_store import InMemoryObjectStore
+
+
+def make_table(key: str, pages: int = 4, rows: int = 100) -> PageTable:
+    entries = [
+        PageEntry(
+            file_key=key,
+            page_id=i,
+            offset=4 + i * 1000,
+            compressed_size=1000,
+            num_values=rows,
+            row_start=i * rows,
+            codec=1,
+        )
+        for i in range(pages)
+    ]
+    return PageTable(key, "c", entries)
+
+
+@pytest.fixture
+def store():
+    return InMemoryObjectStore()
+
+
+class TestComponentFile:
+    def test_roundtrip(self, store):
+        w = ComponentFileWriter()
+        c0 = w.add(b"alpha" * 100)
+        c1 = w.add(b"beta")
+        store.put("f.index", w.finish({"kind": "test"}))
+        r = ComponentFileReader.open(store, "f.index")
+        assert r.header == {"kind": "test"}
+        assert len(r) == 2
+        assert r.read(c0) == b"alpha" * 100
+        assert r.read(c1) == b"beta"
+
+    def test_read_many_order(self, store):
+        w = ComponentFileWriter()
+        ids = [w.add(f"component {i}".encode()) for i in range(5)]
+        store.put("f.index", w.finish({}))
+        r = ComponentFileReader.open(store, "f.index")
+        blobs = r.read_many([ids[3], ids[0]])
+        assert blobs == [b"component 3", b"component 0"]
+
+    def test_read_all(self, store):
+        w = ComponentFileWriter()
+        for i in range(3):
+            w.add(bytes([i]) * 10)
+        store.put("f.index", w.finish({}))
+        r = ComponentFileReader.open(store, "f.index")
+        assert r.read_all() == [bytes([i]) * 10 for i in range(3)]
+
+    def test_incompressible_stored_raw(self, store):
+        import os
+
+        w = ComponentFileWriter()
+        data = os.urandom(1000)
+        w.add(data)
+        store.put("f.index", w.finish({}))
+        r = ComponentFileReader.open(store, "f.index")
+        assert r.read(0) == data
+        # Stored size must not exceed raw size.
+        assert r.component_size(0) <= 1000
+
+    def test_component_out_of_range(self, store):
+        w = ComponentFileWriter()
+        w.add(b"x")
+        store.put("f.index", w.finish({}))
+        r = ComponentFileReader.open(store, "f.index")
+        with pytest.raises(FormatError):
+            r.read(5)
+
+    def test_bad_magic(self, store):
+        store.put("junk", b"A" * 64)
+        with pytest.raises(FormatError):
+            ComponentFileReader.open(store, "junk")
+
+    def test_tail_cache_serves_small_files_free(self, store):
+        """A file smaller than the speculative tail costs open() only."""
+        w = ComponentFileWriter()
+        w.add(b"tiny" * 10)
+        store.put("f.index", w.finish({}))
+        r = ComponentFileReader.open(store, "f.index")
+        before = store.stats.snapshot()
+        r.read(0)
+        assert store.stats.delta(before).gets == 0
+
+    def test_large_component_fetched_by_range(self, store):
+        w = ComponentFileWriter(codec="none")
+        big = b"\xab" * (TAIL_SPECULATIVE_BYTES + 50_000)
+        w.add(big)
+        w.add(b"small")
+        store.put("f.index", w.finish({}))
+        r = ComponentFileReader.open(store, "f.index")
+        before = store.stats.snapshot()
+        assert r.read(0) == big
+        assert store.stats.delta(before).gets == 1
+
+
+class TestPageDirectory:
+    def test_global_ids(self):
+        d = PageDirectory([make_table("a", 3), make_table("b", 2)])
+        assert d.num_pages == 5
+        assert d.locate(0).file_key == "a"
+        assert d.locate(2).file_key == "a"
+        assert d.locate(3).file_key == "b"
+        assert d.locate(3).page_id == 0
+        assert d.base_of(1) == 3
+
+    def test_locate_out_of_range(self):
+        d = PageDirectory([make_table("a", 2)])
+        with pytest.raises(FormatError):
+            d.locate(2)
+
+    def test_num_rows(self):
+        d = PageDirectory([make_table("a", 3, rows=10), make_table("b", 1, rows=7)])
+        assert d.num_rows == 37
+
+    def test_serialize_roundtrip(self):
+        d = PageDirectory([make_table("a", 3), make_table("b", 2)])
+        back = PageDirectory.deserialize(d.serialize())
+        assert back.num_pages == d.num_pages
+        assert back.file_keys == d.file_keys
+        assert back.locate(4) == d.locate(4)
+
+    def test_concat(self):
+        d1 = PageDirectory([make_table("a", 2)])
+        d2 = PageDirectory([make_table("b", 3)])
+        merged = PageDirectory.concat([d1, d2])
+        assert merged.num_pages == 5
+        assert merged.locate(2).file_key == "b"
+
+    def test_table_of(self):
+        d = PageDirectory([make_table("a", 2), make_table("b", 2)])
+        assert d.table_of(0).file_key == "a"
+        assert d.table_of(3).file_key == "b"
+
+
+class TestIndexFile:
+    def test_roundtrip(self, store):
+        d = PageDirectory([make_table("a", 2)])
+        w = IndexFileWriter("fm", "text", d, params={"x": 1})
+        w.add_component("data", b"payload")
+        store.put("f.index", w.finish())
+        r = IndexFileReader.open(store, "f.index")
+        assert r.index_type == "fm"
+        assert r.column == "text"
+        assert r.covered_files == ["a"]
+        assert r.params == {"x": 1}
+        assert r.component("data") == b"payload"
+        assert r.directory.num_pages == 2
+
+    def test_duplicate_component_rejected(self):
+        d = PageDirectory([make_table("a", 1)])
+        w = IndexFileWriter("fm", "text", d)
+        w.add_component("x", b"1")
+        with pytest.raises(FormatError):
+            w.add_component("x", b"2")
+
+    def test_missing_component_rejected(self, store):
+        d = PageDirectory([make_table("a", 1)])
+        w = IndexFileWriter("fm", "text", d)
+        store.put("f.index", w.finish())
+        r = IndexFileReader.open(store, "f.index")
+        with pytest.raises(FormatError):
+            r.component("nope")
+        assert not r.has_component("nope")
+
+    def test_components_batch(self, store):
+        d = PageDirectory([make_table("a", 1)])
+        w = IndexFileWriter("fm", "text", d)
+        w.add_component("one", b"1")
+        w.add_component("two", b"2")
+        store.put("f.index", w.finish())
+        r = IndexFileReader.open(store, "f.index")
+        assert r.components(["two", "one"]) == [b"2", b"1"]
+
+    def test_num_rows_from_directory(self, store):
+        d = PageDirectory([make_table("a", 4, rows=25)])
+        w = IndexFileWriter("fm", "text", d)
+        store.put("f.index", w.finish())
+        r = IndexFileReader.open(store, "f.index")
+        assert r.num_rows == 100

@@ -1,0 +1,129 @@
+"""Cross-engine oracle: Rottnest, brute force, and the copy-data system
+must agree on every query over the same lake state."""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import RottnestClient
+from repro.core.queries import RangeQuery, SubstringQuery, UuidQuery, VectorQuery
+from repro.engines.bruteforce import BruteForceEngine
+from repro.engines.dedicated import DedicatedSearchSystem
+from repro.formats.schema import ColumnType, Field, Schema
+from repro.lake.table import LakeTable, TableConfig
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.clock import SimClock
+
+from tests.conftest import event_batch, event_uuid
+
+
+def rowset(matches):
+    return {(m.file, m.row) for m in matches}
+
+
+class TestThreeWayAgreement:
+    @pytest.fixture
+    def engines(self, store, event_lake):
+        client = RottnestClient(store, "idx/events", event_lake)
+        client.index("uuid", "uuid_trie")
+        client.index("text", "fm", params={"block_size": 4096})
+        client.index("emb", "ivf_pq", params={"nlist": 8, "m": 8})
+        brute = BruteForceEngine(store, event_lake)
+        copycat = DedicatedSearchSystem()
+        return client, brute, copycat
+
+    def test_uuid_agreement(self, engines, event_lake):
+        client, brute, copycat = engines
+        copycat.ingest(event_lake, "uuid")
+        for seed, i in [(1, 0), (1, 299), (2, 150)]:
+            query = UuidQuery(event_uuid(seed, i))
+            a = rowset(client.search("uuid", query, k=50).matches)
+            b = rowset(brute.search("uuid", query, k=50)[0])
+            c = rowset(copycat.search(query, k=50))
+            assert a == b == c
+            assert len(a) == 1
+
+    def test_substring_agreement(self, engines, event_lake):
+        client, brute, copycat = engines
+        copycat.ingest(event_lake, "text")
+        docs = event_lake.to_pylist("text")
+        for needle in [docs[0][:10], docs[400][:10], "impossible-needle"]:
+            query = SubstringQuery(needle)
+            a = rowset(client.search("text", query, k=10_000).matches)
+            b = rowset(brute.search("text", query, k=10_000)[0])
+            c = rowset(copycat.search(query, k=10_000))
+            assert a == b == c
+
+    def test_vector_topk_agreement(self, engines, event_lake):
+        client, brute, copycat = engines
+        copycat.ingest(event_lake, "emb")
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            vec = rng.normal(size=16).astype(np.float32)
+            # Exhaustive settings so the ANN result is exact.
+            query = VectorQuery(vec, nprobe=8, refine=600)
+            a = client.search("emb", query, k=5).matches
+            b = brute.search("emb", query, k=5)[0]
+            c = copycat.search(query, k=5)
+            assert rowset(a) == rowset(b) == rowset(c)
+            for x, y in zip(a, b):
+                assert x.score == pytest.approx(y.score)
+
+    def test_agreement_survives_deletes(self, engines, event_lake):
+        client, brute, _ = engines
+        victim = event_uuid(1, 50)
+        event_lake.delete_where("uuid", lambda v: bytes(v) == victim)
+        query = UuidQuery(victim)
+        assert client.search("uuid", query, k=5).matches == []
+        assert brute.search("uuid", query, k=5)[0] == []
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_batches=st.integers(1, 3),
+    rows=st.integers(20, 80),
+    probe_seed=st.integers(0, 10_000),
+    delete_mod=st.integers(3, 9),
+)
+def test_rottnest_equals_bruteforce_property(
+    n_batches, rows, probe_seed, delete_mod
+):
+    """Property: for arbitrary lake contents, deletions, and probes,
+    Rottnest search == brute-force scan (the ground truth)."""
+    store = InMemoryObjectStore(clock=SimClock())
+    schema = Schema.of(
+        Field("k", ColumnType.INT64), Field("t", ColumnType.STRING)
+    )
+    lake = LakeTable.create(
+        store, "lake/x", schema,
+        TableConfig(row_group_rows=32, page_target_bytes=512),
+    )
+    total = 0
+    for b in range(n_batches):
+        lake.append(
+            {
+                "k": list(range(total, total + rows)),
+                "t": [f"row {total + i} tag{(total + i) % 7}"
+                      for i in range(rows)],
+            }
+        )
+        total += rows
+    lake.delete_where("k", lambda v: v % delete_mod == 0)
+    client = RottnestClient(store, "idx/x", lake)
+    client.index("t", "fm", params={"block_size": 512, "sample_rate": 8})
+    client.index("k", "minmax")
+    brute = BruteForceEngine(store, lake)
+
+    needle = f"tag{probe_seed % 7}"
+    a = rowset(client.search("t", SubstringQuery(needle), k=10_000).matches)
+    b = rowset(brute.search("t", SubstringQuery(needle), k=10_000)[0])
+    assert a == b
+
+    lo = probe_seed % max(total, 1)
+    query = RangeQuery(lo, lo + 10)
+    a = rowset(client.search("k", query, k=10_000).matches)
+    b = rowset(brute.search("k", query, k=10_000)[0])
+    assert a == b

@@ -1,0 +1,226 @@
+"""Baseline engines: brute-force scaling model + copy-data systems."""
+
+import numpy as np
+import pytest
+
+from repro.core.queries import SubstringQuery, UuidQuery, VectorQuery
+from repro.engines.bruteforce import BruteForceEngine, BruteForceModel
+from repro.engines.dedicated import (
+    LANCEDB_MODEL,
+    OPENSEARCH_MODEL,
+    DedicatedModel,
+    DedicatedSearchSystem,
+    lance_cold_latency,
+)
+from repro.storage.costs import GB, CostModel
+
+from tests.conftest import event_uuid
+
+
+class TestBruteForceModel:
+    def test_latency_decreases_with_workers(self):
+        m = BruteForceModel()
+        bytes_ = 100 * GB
+        lat = [m.latency(bytes_, w) for w in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(a > b for a, b in zip(lat, lat[1:]))
+
+    def test_speedup_saturates(self):
+        """Fig. 8a: near-linear early, marked slowdown at 64 workers."""
+        m = BruteForceModel()
+        bytes_ = 300 * GB
+        s_2 = m.latency(bytes_, 1) / m.latency(bytes_, 2)
+        s_64 = m.latency(bytes_, 32) / m.latency(bytes_, 64)
+        assert s_2 > 1.8  # early doubling nearly halves latency
+        assert s_64 < 1.5  # late doubling doesn't
+
+    def test_cost_per_query_rises_at_scale(self):
+        """Fig. 8b: cost per query grows once scaling saturates."""
+        m = BruteForceModel()
+        bytes_ = 300 * GB
+        c_8 = m.cost_per_query(bytes_, 8)
+        c_64 = m.cost_per_query(bytes_, 64)
+        assert c_64 > c_8
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            BruteForceModel().latency(1, 0)
+
+    def test_cost_uses_instance_price(self):
+        m = BruteForceModel()
+        c = CostModel()
+        lat = m.latency(GB, 4)
+        assert m.cost_per_query(GB, 4, c) == pytest.approx(
+            lat * 4 * c.instance_hourly("r6i.4xlarge") / 3600
+        )
+
+
+class TestBruteForceEngine:
+    def test_exact_matches_rottnest(self, indexed_client, event_lake, store):
+        engine = BruteForceEngine(store, event_lake)
+        key = event_uuid(1, 11)
+        brute, scanned = engine.search("uuid", UuidQuery(key), k=5)
+        rott = indexed_client.search("uuid", UuidQuery(key), k=5)
+        assert {(m.file, m.row) for m in brute} == {
+            (m.file, m.row) for m in rott.matches
+        }
+        assert scanned > 0
+
+    def test_exact_early_exit(self, event_lake, store):
+        engine = BruteForceEngine(store, event_lake)
+        matches, scanned = engine.search("text", SubstringQuery("a"), k=1)
+        assert len(matches) == 1
+        # Early exit: did not scan the second file.
+        assert scanned < event_lake.snapshot().total_bytes
+
+    def test_scoring_matches_rottnest_top1(self, indexed_client, event_lake, store):
+        engine = BruteForceEngine(store, event_lake)
+        rng = np.random.default_rng(0)
+        q = VectorQuery(rng.normal(size=16).astype(np.float32), nprobe=8, refine=200)
+        brute, _ = engine.search("emb", q, k=5)
+        rott = indexed_client.search("emb", q, k=5)
+        assert brute[0].score == pytest.approx(rott.matches[0].score)
+
+    def test_deleted_rows_excluded(self, event_lake, store):
+        key = event_uuid(1, 4)
+        event_lake.delete_where("uuid", lambda v: bytes(v) == key)
+        engine = BruteForceEngine(store, event_lake)
+        matches, _ = engine.search("uuid", UuidQuery(key), k=5)
+        assert matches == []
+
+    def test_modeled_helpers(self, event_lake, store):
+        engine = BruteForceEngine(store, event_lake, workers=8)
+        assert engine.modeled_latency() > 0
+        assert engine.modeled_cost_per_query() > 0
+        # On a tiny test lake coordination dominates, so *more* workers
+        # means *worse* latency — the far-right tail of Fig. 8a.
+        assert engine.modeled_latency(workers=64) > engine.modeled_latency(workers=1)
+
+
+class TestMinMaxPruning:
+    """§II-B measured at the engine: pruning works on sorted columns,
+    prunes nothing on random identifiers."""
+
+    @pytest.fixture
+    def sorted_lake(self):
+        from repro.formats.schema import ColumnType, Field, Schema
+        from repro.lake.table import LakeTable, TableConfig
+        from repro.storage.object_store import InMemoryObjectStore
+
+        store = InMemoryObjectStore()
+        schema = Schema.of(Field("ts", ColumnType.INT64))
+        lake = LakeTable.create(
+            store, "lake/s", schema,
+            TableConfig(row_group_rows=100, page_target_bytes=512),
+        )
+        lake.append({"ts": list(range(1000))})  # 10 row groups
+        return store, lake
+
+    def test_sorted_column_prunes(self, sorted_lake):
+        from repro.core.queries import RangeQuery
+
+        store, lake = sorted_lake
+        engine = BruteForceEngine(store, lake)
+        query = RangeQuery(250, 260)
+        pruned, scanned_pruned = engine.search("ts", query, k=100, prune=True)
+        full, scanned_full = engine.search("ts", query, k=100, prune=False)
+        assert {m.row for m in pruned} == {m.row for m in full}
+        assert scanned_pruned < scanned_full / 3
+
+    def test_random_uuid_column_prunes_nothing(self, event_lake, store):
+        engine = BruteForceEngine(store, event_lake)
+        key = event_uuid(1, 100)
+        pruned, scanned_pruned = engine.search(
+            "uuid", UuidQuery(key), k=100, prune=True
+        )
+        full, scanned_full = engine.search(
+            "uuid", UuidQuery(key), k=100, prune=False
+        )
+        assert {m.row for m in pruned} == {m.row for m in full}
+        # Random 128-bit keys: min-max cannot prune (the paper's point).
+        assert scanned_pruned == scanned_full
+
+    def test_substring_never_pruned(self, event_lake, store):
+        engine = BruteForceEngine(store, event_lake)
+        _, scanned_pruned = engine.search(
+            "text", SubstringQuery("zzz"), k=5, prune=True
+        )
+        _, scanned_full = engine.search(
+            "text", SubstringQuery("zzz"), k=5, prune=False
+        )
+        assert scanned_pruned == scanned_full
+
+
+class TestDedicated:
+    def test_monthly_cost_components(self):
+        c = CostModel()
+        m = DedicatedModel(instance_type="r6g.large", instance_count=3)
+        cost = m.monthly_cost(10 * GB, c)
+        compute = 3 * 730 * c.instance_hourly("r6g.large")
+        assert cost > compute  # storage on top
+        assert cost == pytest.approx(
+            compute + 10 * 1.6 * 3 * c.opensearch_ebs_per_gb_month
+        )
+
+    def test_paper_configs_exist(self):
+        assert OPENSEARCH_MODEL.instance_type == "r6g.large"
+        assert LANCEDB_MODEL.instance_type == "r6g.xlarge"
+
+    def test_ingest_and_uuid_search(self, event_lake):
+        system = DedicatedSearchSystem()
+        n = system.ingest(event_lake, "uuid")
+        assert n == 600
+        key = event_uuid(2, 9)
+        matches = system.search(UuidQuery(key), k=5)
+        assert len(matches) == 1
+        assert bytes(matches[0].value) == key
+
+    def test_substring_search(self, event_lake):
+        system = DedicatedSearchSystem()
+        system.ingest(event_lake, "text")
+        docs = event_lake.to_pylist("text")
+        needle = docs[0][:8]
+        matches = system.search(SubstringQuery(needle), k=1000)
+        assert len(matches) == sum(needle in d for d in docs)
+
+    def test_vector_search_exact(self, event_lake):
+        system = DedicatedSearchSystem(LANCEDB_MODEL)
+        system.ingest(event_lake, "emb")
+        from tests.conftest import event_batch
+
+        target = event_batch(300, seed=1)["emb"][12]
+        matches = system.search(VectorQuery(target), k=3)
+        assert matches[0].score == pytest.approx(0.0, abs=1e-9)
+
+    def test_staleness_is_real(self, event_lake):
+        """The copy does not see lake writes after ingest (Fig. 1's
+        consistency problem with the copy-data approach)."""
+        from tests.conftest import event_batch
+
+        system = DedicatedSearchSystem()
+        system.ingest(event_lake, "uuid")
+        event_lake.append(event_batch(10, seed=42))
+        fresh_key = event_uuid(42, 0)
+        assert system.search(UuidQuery(fresh_key), k=1) == []
+
+    def test_monthly_cost_after_ingest(self, event_lake):
+        system = DedicatedSearchSystem()
+        system.ingest(event_lake, "uuid")
+        assert system.monthly_cost() > 200  # 3 always-on instances
+
+
+class TestLanceCold:
+    def test_comparable_to_page_reads(self):
+        """§VII-C: exact-byte reads beat 300 KB pages only marginally —
+        both sit in the flat region of Fig. 10a."""
+        lance = lance_cold_latency(nprobe=8, refine=50, list_bytes=200_000)
+        # Same shape with 300 KB page reads in the refine round.
+        from repro.storage.latency import LatencyModel
+
+        m = LatencyModel()
+        rott = (
+            m.round_latency([64 * 1024])
+            + m.round_latency([200_000] * 8)
+            + m.round_latency([300_000] * 50)
+        )
+        assert lance <= rott
+        assert rott / lance < 1.5  # within ~50%, not orders of magnitude

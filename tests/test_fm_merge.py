@@ -1,0 +1,153 @@
+"""Holt-McMillan interleave merge and multi-string BWT primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RottnestIndexError
+from repro.indices.fm.bwt import (
+    bwt_from_sa,
+    invert_multi_bwt,
+    suffix_array,
+)
+from repro.indices.fm.fm_index import FmBuilder, page_text
+from repro.indices.fm.merge import (
+    MergeDidNotConverge,
+    apply_interleave,
+    merge_bwts,
+    merged_bwt_and_sentinels,
+)
+
+
+def single_bwt(text: bytes):
+    sa = suffix_array(text)
+    return bwt_from_sa(text, sa)
+
+
+class TestApplyInterleave:
+    def test_weave(self):
+        z = np.array([False, True, True, False])
+        a = np.array([1, 2])
+        b = np.array([10, 20])
+        assert apply_interleave(z, a, b).tolist() == [1, 10, 20, 2]
+
+    def test_length_mismatch(self):
+        with pytest.raises(RottnestIndexError):
+            apply_interleave(np.array([True]), np.array([1]), np.array([2]))
+
+
+class TestMergeBwts:
+    @pytest.mark.parametrize(
+        "text_a,text_b",
+        [
+            (b"banana", b"ananas"),
+            (b"aaa", b"aaa"),
+            (b"abc", b"xyz"),
+            (b"", b"hello"),
+            (b"x", b""),
+            (b"mississippi", b"mission"),
+        ],
+    )
+    def test_merged_collection_inverts_to_both_texts(self, text_a, text_b):
+        bwt_a, s_a = single_bwt(text_a)
+        bwt_b, s_b = single_bwt(text_b)
+        interleave, iterations = merge_bwts(bwt_a, [s_a], bwt_b, [s_b])
+        merged, sentinels = merged_bwt_and_sentinels(
+            interleave, bwt_a, [s_a], bwt_b, [s_b]
+        )
+        assert len(sentinels) == 2
+        assert iterations >= 1
+        texts = invert_multi_bwt(merged, sentinels)
+        assert texts == [text_a, text_b]
+
+    def test_interleave_counts_match_sources(self):
+        bwt_a, s_a = single_bwt(b"hello world")
+        bwt_b, s_b = single_bwt(b"goodbye")
+        interleave, _ = merge_bwts(bwt_a, [s_a], bwt_b, [s_b])
+        assert int((~interleave).sum()) == len(bwt_a)
+        assert int(interleave.sum()) == len(bwt_b)
+
+    def test_convergence_bound_enforced(self):
+        bwt_a, s_a = single_bwt(b"aaaaaaaaaaaaaaaa")
+        bwt_b, s_b = single_bwt(b"aaaaaaaaaaaaaaaa")
+        with pytest.raises(MergeDidNotConverge):
+            merge_bwts(bwt_a, [s_a], bwt_b, [s_b], max_iterations=2)
+
+    @given(st.binary(max_size=60), st.binary(max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_inverts_property(self, text_a, text_b):
+        bwt_a, s_a = single_bwt(text_a)
+        bwt_b, s_b = single_bwt(text_b)
+        interleave, _ = merge_bwts(bwt_a, [s_a], bwt_b, [s_b])
+        merged, sentinels = merged_bwt_and_sentinels(
+            interleave, bwt_a, [s_a], bwt_b, [s_b]
+        )
+        assert invert_multi_bwt(merged, sentinels) == [text_a, text_b]
+
+
+class TestMultiStringInversion:
+    def test_three_way(self):
+        """Merging a merged collection with a third text."""
+        texts = [b"first text", b"second one", b"third"]
+        bwt_a, s_a = single_bwt(texts[0])
+        bwt_b, s_b = single_bwt(texts[1])
+        z1, _ = merge_bwts(bwt_a, [s_a], bwt_b, [s_b])
+        m1, sent1 = merged_bwt_and_sentinels(z1, bwt_a, [s_a], bwt_b, [s_b])
+        bwt_c, s_c = single_bwt(texts[2])
+        z2, _ = merge_bwts(m1, sent1, bwt_c, [s_c])
+        m2, sent2 = merged_bwt_and_sentinels(z2, m1, sent1, bwt_c, [s_c])
+        assert len(sent2) == 3
+        assert invert_multi_bwt(m2, sent2) == texts
+
+    def test_requires_sentinels(self):
+        with pytest.raises(ValueError):
+            invert_multi_bwt(b"\x00", [])
+
+
+class TestBuilderInterleaveMerge:
+    def test_chained_compaction_stays_correct(self):
+        """Repeated interleave merges (as chained compactions produce)
+        keep counting exact."""
+        from repro.workloads.text import TextWorkload
+        from tests.test_fm_index import naive_count, store_fm
+
+        gen = TextWorkload(seed=9, vocabulary_size=300)
+        all_pages = [(g, gen.documents(8, avg_chars=60)) for g in range(6)]
+        merged = FmBuilder.build(
+            [(0, all_pages[0][1])], block_size=512, sample_rate=8
+        )
+        for g, values in all_pages[1:]:
+            part = FmBuilder.build([(0, values)], block_size=512, sample_rate=8)
+            merged = FmBuilder.merge([merged, part], [0, g])
+        assert len(merged.sentinels) == 6
+        full = b"".join(page_text(v) for _, v in all_pages)
+        _, querier = store_fm(merged, 6, rows_per_page=8)
+        for needle in ["a", "ba", all_pages[3][1][0][:6]]:
+            assert querier.count(needle) == naive_count(full, needle.encode())
+
+    def test_merged_samples_are_sorted_and_valid(self):
+        from repro.workloads.text import TextWorkload
+
+        gen = TextWorkload(seed=4, vocabulary_size=200)
+        b1 = FmBuilder.build(
+            [(0, gen.documents(10, 50))], block_size=256, sample_rate=4
+        )
+        b2 = FmBuilder.build(
+            [(0, gen.documents(10, 50))], block_size=256, sample_rate=4
+        )
+        merged = FmBuilder.merge([b1, b2], [0, 1])
+        rows = [r for r, _ in merged.samples]
+        assert rows == sorted(rows)
+        assert len(merged.samples) == len(b1.samples) + len(b2.samples)
+        positions = {p for _, p in merged.samples}
+        assert 0 in positions  # part A's origin
+        assert b1.text_length in positions  # part B's shifted origin
+
+    def test_pagemap_weaves(self):
+        b1 = FmBuilder.build([(0, ["aaa", "bbb"])], block_size=128, sample_rate=4)
+        b2 = FmBuilder.build([(0, ["ccc"])], block_size=128, sample_rate=4)
+        merged = FmBuilder.merge([b1, b2], [0, 1])
+        assert len(merged.pagemap) == merged.n
+        assert set(merged.pagemap.tolist()) == {0, 1}
+        assert merged.store_pagemap

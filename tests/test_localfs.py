@@ -1,0 +1,93 @@
+"""Filesystem object store: S3 semantics on disk + end-to-end reuse."""
+
+import pytest
+
+from repro.errors import InvalidByteRange, ObjectNotFound, PreconditionFailed
+from repro.storage.localfs import LocalFSObjectStore
+from repro.util.clock import SimClock
+
+
+@pytest.fixture
+def store(tmp_path):
+    return LocalFSObjectStore(str(tmp_path / "bucket"), clock=SimClock(1000.0))
+
+
+class TestLocalFS:
+    def test_put_get_roundtrip(self, store):
+        store.put("a/b/c", b"data")
+        assert store.get("a/b/c") == b"data"
+
+    def test_missing_raises(self, store):
+        with pytest.raises(ObjectNotFound):
+            store.get("nope")
+        with pytest.raises(ObjectNotFound):
+            store.head("nope")
+
+    def test_byte_range(self, store):
+        store.put("k", b"0123456789")
+        assert store.get("k", (3, 4)) == b"3456"
+        with pytest.raises(InvalidByteRange):
+            store.get("k", (8, 5))
+
+    def test_conditional_put(self, store):
+        store.put("log/0", b"v0", if_none_match=True)
+        with pytest.raises(PreconditionFailed):
+            store.put("log/0", b"other", if_none_match=True)
+        assert store.get("log/0") == b"v0"
+
+    def test_list_prefix(self, store):
+        store.put("t/b", b"2")
+        store.put("t/a", b"1")
+        store.put("u/c", b"3")
+        assert [i.key for i in store.list("t/")] == ["t/a", "t/b"]
+
+    def test_mtime_from_clock(self, store):
+        store.clock.advance(42)
+        info = store.put("k", b"x")
+        assert info.mtime == 1042.0
+        assert store.head("k").mtime == 1042.0
+
+    def test_delete_idempotent(self, store):
+        store.put("k", b"x")
+        store.delete("k")
+        store.delete("k")
+        assert not store.exists("k")
+
+    @pytest.mark.parametrize("key", ["", "/abs", "a/../b"])
+    def test_path_traversal_rejected(self, store, key):
+        with pytest.raises(ValueError):
+            store.put(key, b"x")
+
+    def test_persists_across_instances(self, tmp_path):
+        root = str(tmp_path / "bucket")
+        LocalFSObjectStore(root).put("k", b"durable")
+        assert LocalFSObjectStore(root).get("k") == b"durable"
+
+
+class TestLakeOnLocalFS:
+    def test_full_rottnest_cycle(self, tmp_path):
+        """Lake + index + search entirely on disk, across 'processes'
+        (separate store instances)."""
+        from repro.core.client import RottnestClient
+        from repro.core.queries import SubstringQuery
+        from repro.formats.schema import ColumnType, Field, Schema
+        from repro.lake.table import LakeTable, TableConfig
+
+        root = str(tmp_path / "bucket")
+        writer_store = LocalFSObjectStore(root)
+        schema = Schema.of(Field("t", ColumnType.STRING))
+        lake = LakeTable.create(
+            writer_store, "lake/t", schema,
+            TableConfig(row_group_rows=100, page_target_bytes=1024),
+        )
+        lake.append({"t": [f"document {i} words here" for i in range(300)]})
+        indexer_store = LocalFSObjectStore(root)
+        indexer_lake = LakeTable.open(indexer_store, "lake/t")
+        RottnestClient(indexer_store, "idx/t", indexer_lake).index("t", "fm")
+
+        searcher_store = LocalFSObjectStore(root)
+        searcher_lake = LakeTable.open(searcher_store, "lake/t")
+        client = RottnestClient(searcher_store, "idx/t", searcher_lake)
+        res = client.search("t", SubstringQuery("document 42 "), k=5)
+        assert len(res.matches) == 1
+        assert res.stats.files_brute_forced == 0

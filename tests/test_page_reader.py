@@ -1,0 +1,168 @@
+"""Rottnest's page-granular reader and page tables (§V-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats.page_reader import (
+    PageTable,
+    build_page_table,
+    read_page,
+    read_rows_via_pages,
+)
+from repro.formats.parquet import write_parquet
+from repro.formats.reader import ParquetFile
+from repro.formats.schema import ColumnType, Field, Schema
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.binio import BinaryReader, BinaryWriter
+
+
+@pytest.fixture
+def stored_file():
+    schema = Schema.of(
+        Field("id", ColumnType.INT64), Field("text", ColumnType.STRING)
+    )
+    columns = {
+        "id": list(range(500)),
+        "text": [f"value {i} padding padding" for i in range(500)],
+    }
+    result = write_parquet(
+        schema, columns, row_group_rows=150, page_target_bytes=800
+    )
+    store = InMemoryObjectStore()
+    store.put("d.parquet", result.data)
+    return store, result, schema, columns
+
+
+class TestPageTable:
+    def test_build_covers_all_rows(self, stored_file):
+        _, result, _, _ = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        assert table.num_rows == 500
+        assert len(table) > 4
+        # Entries tile the file row range.
+        cursor = 0
+        for e in table.entries:
+            assert e.row_start == cursor
+            cursor += e.num_values
+        assert cursor == 500
+
+    def test_page_of_row(self, stored_file):
+        _, result, _, _ = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        for row in [0, 1, 149, 150, 499]:
+            pid = table.page_of_row(row)
+            e = table.entry(pid)
+            assert e.row_start <= row < e.row_start + e.num_values
+
+    def test_page_of_row_out_of_range(self, stored_file):
+        _, result, _, _ = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        with pytest.raises(FormatError):
+            table.page_of_row(500)
+
+    def test_entry_out_of_range(self, stored_file):
+        _, result, _, _ = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        with pytest.raises(FormatError):
+            table.entry(len(table))
+
+    def test_missing_column(self, stored_file):
+        _, result, _, _ = stored_file
+        with pytest.raises(FormatError):
+            build_page_table(result.metadata, "d.parquet", "nope")
+
+    def test_serialize_roundtrip(self, stored_file):
+        _, result, _, _ = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        w = BinaryWriter()
+        table.serialize(w)
+        back = PageTable.deserialize(BinaryReader(w.getvalue()))
+        assert back.file_key == table.file_key
+        assert back.column == table.column
+        assert back.entries == table.entries
+
+
+class TestPageReads:
+    def test_read_page_values(self, stored_file):
+        store, result, schema, columns = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        entry = table.entry(2)
+        row_start, values = read_page(store, schema.field("text"), entry)
+        assert values == columns["text"][row_start : row_start + len(values)]
+
+    def test_read_page_bypasses_footer(self, stored_file):
+        """One byte-range GET of exactly the page, nothing else."""
+        store, result, schema, _ = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        entry = table.entry(1)
+        before = store.stats.snapshot()
+        read_page(store, schema.field("text"), entry)
+        delta = store.stats.delta(before)
+        assert delta.gets == 1
+        assert delta.heads == 0
+        assert delta.bytes_read == entry.compressed_size
+
+    def test_page_read_much_smaller_than_chunk(self, stored_file):
+        """The §V-A claim: page IO << chunk IO for point lookups."""
+        store, result, schema, _ = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        chunk_size = result.metadata.row_groups[0].chunk("text").total_compressed_size
+        assert table.entry(0).compressed_size < chunk_size
+
+    def test_read_rows_via_pages_matches_traditional(self, stored_file):
+        store, result, schema, columns = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        rows = [0, 7, 149, 150, 300, 499]
+        got = read_rows_via_pages(store, schema.field("text"), table, rows)
+        pf = ParquetFile(store, "d.parquet")
+        assert got == pf.read_rows("text", rows)
+
+    def test_read_rows_via_pages_empty(self, stored_file):
+        store, result, schema, _ = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        assert read_rows_via_pages(store, schema.field("text"), table, []) == {}
+
+    def test_rows_in_same_page_read_once(self, stored_file):
+        store, result, schema, _ = stored_file
+        table = build_page_table(result.metadata, "d.parquet", "text")
+        e0 = table.entry(0)
+        rows = list(range(min(3, e0.num_values)))
+        before = store.stats.snapshot()
+        read_rows_via_pages(store, schema.field("text"), table, rows)
+        assert store.stats.delta(before).gets == 1
+
+    def test_vector_pages(self):
+        schema = Schema.of(Field("v", ColumnType.VECTOR, vector_dim=4))
+        vecs = np.arange(400, dtype=np.float32).reshape(100, 4)
+        result = write_parquet(
+            schema, {"v": vecs}, row_group_rows=40, page_target_bytes=200
+        )
+        store = InMemoryObjectStore()
+        store.put("v.parquet", result.data)
+        table = build_page_table(result.metadata, "v.parquet", "v")
+        got = read_rows_via_pages(store, schema.field("v"), table, [0, 55, 99])
+        for r in (0, 55, 99):
+            assert np.array_equal(got[r], vecs[r])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.lists(st.integers(0, 499), min_size=1, max_size=30),
+    page_bytes=st.integers(100, 3000),
+)
+def test_page_reads_equal_chunk_reads_property(rows, page_bytes):
+    """Both readers agree on arbitrary row subsets and page geometry."""
+    schema = Schema.of(Field("t", ColumnType.STRING))
+    values = [f"item {i} " + "z" * (i % 23) for i in range(500)]
+    result = write_parquet(
+        schema, {"t": values}, row_group_rows=170, page_target_bytes=page_bytes
+    )
+    store = InMemoryObjectStore()
+    store.put("f", result.data)
+    table = build_page_table(result.metadata, "f", "t")
+    via_pages = read_rows_via_pages(store, schema.field("t"), table, rows)
+    via_chunks = ParquetFile(store, "f").read_rows("t", rows)
+    assert via_pages == via_chunks

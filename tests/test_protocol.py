@@ -1,0 +1,470 @@
+"""Rottnest protocol: index/search/compact/vacuum and the two
+invariants of §IV-D under crashes and concurrent lake operations."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexAborted, InjectedFault
+from repro.core.client import RottnestClient
+from repro.core.maintenance import compact_indices, vacuum_indices
+from repro.core.queries import RegexQuery, SubstringQuery, UuidQuery, VectorQuery
+from repro.formats.reader import ParquetFile
+from repro.core.index_file import IndexFileReader
+from repro.indices.base import querier_for
+from repro.lake.table import LakeTable
+from repro.storage.faults import FaultyObjectStore
+
+from tests.conftest import EVENT_SCHEMA, event_batch, event_uuid
+
+
+def check_invariants(client: RottnestClient) -> None:
+    """Assert Existence and Consistency (Lemmas 1 and 2)."""
+    records = client.meta.records()
+    for record in records:
+        # Existence: metadata references are physically present.
+        assert client.store.exists(record.index_key), record.index_key
+        # Consistency: the index correctly indexes covered files that
+        # still exist — spot-check that every existing covered file's
+        # page table matches the file's real layout.
+        reader = IndexFileReader.open(client.store, record.index_key)
+        for table in reader.directory.tables:
+            if not client.store.exists(table.file_key):
+                continue  # ¬exists(d_f): invariant vacuously holds
+            pf = ParquetFile(client.store, table.file_key)
+            from repro.formats.page_reader import build_page_table
+
+            fresh = build_page_table(pf.metadata, table.file_key, reader.column)
+            assert fresh.entries == table.entries
+
+
+class TestIndexApi:
+    def test_index_covers_new_files_only(self, client, event_lake):
+        r1 = client.index("uuid", "uuid_trie")
+        assert len(r1.covered_files) == 2
+        assert client.index("uuid", "uuid_trie") is None  # nothing new
+        event_lake.append(event_batch(100, seed=3))
+        r2 = client.index("uuid", "uuid_trie")
+        assert len(r2.covered_files) == 1
+
+    def test_index_records_metadata(self, client):
+        record = client.index("text", "fm")
+        assert record.index_type == "fm"
+        assert record.column == "text"
+        assert record.num_rows == 600
+        assert record.size > 0
+        assert client.store.exists(record.index_key)
+
+    def test_min_rows_abort(self, store, small_config):
+        lake = LakeTable.create(store, "lake/tiny", EVENT_SCHEMA, small_config)
+        lake.append(event_batch(50, seed=1))  # < IvfPqBuilder.min_rows
+        client = RottnestClient(store, "idx/tiny", lake)
+        with pytest.raises(IndexAborted):
+            client.index("emb", "ivf_pq")
+        # Search still works via brute force.
+        res = client.search("emb", VectorQuery(np.zeros(16), nprobe=2), k=3)
+        assert len(res.matches) == 3
+
+    def test_timeout_aborts_without_commit(self, client, clock):
+        client.index_timeout_s = 0.0
+        clock.advance(1.0)  # any elapsed time now exceeds the timeout
+
+        # Make the build take "time" by advancing the clock via a hooked
+        # store operation is overkill: timeout is checked against start,
+        # and the clock already moved past it once indexing begins.
+        class TickingClock:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def now(self):
+                self.inner.advance(1.0)
+                return self.inner.now()
+
+        client.store.clock = TickingClock(clock)
+        with pytest.raises(IndexAborted):
+            client.index("uuid", "uuid_trie")
+        assert client.meta.records() == []
+
+    def test_vanished_file_aborts(self, client, event_lake, store):
+        # Simulate a lake vacuum racing the indexer: drop a data file
+        # after the snapshot was taken.
+        snap = event_lake.snapshot()
+        store.delete(snap.file_paths[0])
+        with pytest.raises(IndexAborted):
+            client.index("uuid", "uuid_trie", snapshot=snap)
+        check_invariants(client)
+
+
+class TestSearchApi:
+    def test_uuid_exact(self, indexed_client):
+        key = event_uuid(1, 7)
+        res = indexed_client.search("uuid", UuidQuery(key), k=5)
+        assert len(res.matches) == 1
+        assert bytes(res.matches[0].value) == key
+        assert res.stats.files_brute_forced == 0
+
+    def test_uuid_absent(self, indexed_client):
+        res = indexed_client.search("uuid", UuidQuery(b"\x00" * 16), k=5)
+        assert res.matches == []
+
+    def test_substring_matches_verified(self, indexed_client, event_lake):
+        docs = event_lake.to_pylist("text")
+        needle = docs[10][:10]
+        res = indexed_client.search("text", SubstringQuery(needle), k=100)
+        expected = sum(needle in d for d in docs)
+        assert len(res.matches) == expected
+        assert all(needle in m.value for m in res.matches)
+
+    def test_k_truncates(self, indexed_client):
+        res = indexed_client.search("text", SubstringQuery("a"), k=4)
+        assert len(res.matches) == 4
+
+    def test_k_validated(self, indexed_client):
+        from repro.errors import RottnestIndexError
+
+        with pytest.raises(RottnestIndexError):
+            indexed_client.search("text", SubstringQuery("a"), k=0)
+
+    def test_vector_top1_is_exact_row(self, indexed_client, event_lake):
+        target = event_batch(300, seed=1)["emb"][33]
+        res = indexed_client.search(
+            "emb", VectorQuery(target, nprobe=8, refine=64), k=3
+        )
+        assert res.matches[0].score == pytest.approx(0.0, abs=1e-9)
+
+    def test_vector_matches_sorted(self, indexed_client):
+        q = np.zeros(16, dtype=np.float32)
+        res = indexed_client.search("emb", VectorQuery(q, nprobe=8), k=10)
+        scores = [m.score for m in res.matches]
+        assert scores == sorted(scores)
+
+    def test_regex_brute_forces_everything(self, indexed_client, event_lake):
+        res = indexed_client.search("text", RegexQuery(r"\bba\w+"), k=5)
+        assert res.stats.index_files_queried == 0
+        assert res.stats.files_brute_forced >= 1
+        assert len(res.matches) == 5
+
+    def test_unindexed_files_scanned_for_completeness(
+        self, indexed_client, event_lake
+    ):
+        batch = event_batch(60, seed=9)
+        batch["text"][5] = "UNIQUEMARKER only here"
+        event_lake.append(batch)
+        res = indexed_client.search("text", SubstringQuery("UNIQUEMARKER"), k=10)
+        assert len(res.matches) == 1
+        assert res.stats.files_brute_forced == 1
+
+    def test_scoring_query_always_scans_unindexed(self, indexed_client, event_lake):
+        event_lake.append(event_batch(60, seed=9))
+        q = np.zeros(16, dtype=np.float32)
+        res = indexed_client.search("emb", VectorQuery(q, nprobe=4), k=5)
+        assert res.stats.files_brute_forced == 1
+
+    def test_search_respects_snapshot(self, indexed_client, event_lake):
+        old_version = event_lake.latest_version()
+        batch = event_batch(60, seed=11)
+        event_lake.append(batch)
+        old_snap = event_lake.snapshot(old_version)
+        key = hashlib.sha256(b"11-5").digest()[:16]
+        # Present in latest, absent in the old snapshot.
+        assert len(indexed_client.search("uuid", UuidQuery(key), k=5).matches) == 1
+        res = indexed_client.search("uuid", UuidQuery(key), k=5, snapshot=old_snap)
+        assert res.matches == []
+
+    def test_deleted_rows_filtered(self, indexed_client, event_lake):
+        key = event_uuid(2, 10)
+        event_lake.delete_where("uuid", lambda v: bytes(v) == key)
+        res = indexed_client.search("uuid", UuidQuery(key), k=5)
+        assert res.matches == []
+
+    def test_search_after_lake_compaction(self, indexed_client, event_lake):
+        """Stale index locations are filtered; rows found via the new
+        files' brute-force path (then reindexable)."""
+        event_lake.compact(min_file_rows=1000, target_rows=5000)
+        key = event_uuid(1, 3)
+        res = indexed_client.search("uuid", UuidQuery(key), k=5)
+        assert len(res.matches) == 1
+        assert res.stats.files_brute_forced == 1  # the compacted file
+        # Re-index the compacted file; no more brute force.
+        indexed_client.index("uuid", "uuid_trie")
+        res = indexed_client.search("uuid", UuidQuery(key), k=5)
+        assert len(res.matches) == 1
+        assert res.stats.files_brute_forced == 0
+
+    def test_vacuumed_snapshot_fails_cleanly(self, indexed_client, event_lake):
+        """Searching a snapshot whose files the lake physically removed
+        raises an actionable error rather than a raw store failure."""
+        from repro.errors import SnapshotNotFound
+
+        old_snap = event_lake.snapshot()
+        docs = event_lake.to_pylist("text")
+        event_lake.append(event_batch(50, seed=30))
+        event_lake.compact(min_file_rows=10_000, target_rows=100_000)
+        event_lake.vacuum(retain_versions=1)
+        # A present needle must probe a page of a removed file.
+        with pytest.raises(SnapshotNotFound, match="no longer materialized"):
+            indexed_client.search(
+                "text", SubstringQuery(docs[0][:8]), k=5, snapshot=old_snap
+            )
+        # An absent needle never touches the data and still answers.
+        res = indexed_client.search(
+            "text", SubstringQuery("zzz-not-there"), k=5, snapshot=old_snap
+        )
+        assert res.matches == []
+
+    def test_stats_have_trace(self, indexed_client):
+        res = indexed_client.search("uuid", UuidQuery(event_uuid(1, 0)), k=1)
+        assert res.stats.trace.total_requests > 0
+        assert res.stats.estimated_latency() > 0
+
+
+class TestCrashSafety:
+    """Invariants hold across injected failures (§IV-D proof cases)."""
+
+    def test_crash_before_upload(self, store, event_lake):
+        faulty = FaultyObjectStore(store)
+        client = RottnestClient(faulty, "idx/events", event_lake)
+        faulty.fail_next("PUT", ".index")
+        with pytest.raises(InjectedFault):
+            client.index("uuid", "uuid_trie")
+        assert client.meta.records() == []
+        assert store.list("idx/events/files/") == []
+        check_invariants(client)
+
+    def test_crash_before_commit_leaves_orphan(self, store, event_lake, clock):
+        faulty = FaultyObjectStore(store)
+        client = RottnestClient(faulty, "idx/events", event_lake)
+        faulty.fail_next("PUT", "_meta")
+        with pytest.raises(InjectedFault):
+            client.index("uuid", "uuid_trie")
+        # Orphan index file exists but metadata is empty: consistent.
+        assert client.meta.records() == []
+        assert len(store.list("idx/events/files/")) == 1
+        check_invariants(client)
+        # Retry succeeds and re-indexes everything.
+        record = client.index("uuid", "uuid_trie")
+        assert len(record.covered_files) == 2
+        check_invariants(client)
+        # Vacuum must NOT remove the fresh orphan before the timeout...
+        report = vacuum_indices(client, snapshot_id=0)
+        assert len(report.deleted_objects) == 0
+        # ...but does after it.
+        clock.advance(client.index_timeout_s + 1)
+        report = vacuum_indices(client, snapshot_id=0)
+        assert len(report.deleted_objects) == 1
+        check_invariants(client)
+
+    def test_crash_during_vacuum_delete(self, store, event_lake, clock):
+        client = RottnestClient(store, "idx/events", event_lake)
+        client.index("uuid", "uuid_trie")
+        event_lake.append(event_batch(50, seed=4))
+        client.index("uuid", "uuid_trie")
+        compact_indices(client, "uuid", "uuid_trie")
+        clock.advance(client.index_timeout_s + 1)
+
+        faulty_client = RottnestClient(
+            FaultyObjectStore(store), "idx/events", event_lake
+        )
+        faulty_client.store.fail_next("DELETE", ".index")
+        with pytest.raises(InjectedFault):
+            vacuum_indices(faulty_client, snapshot_id=0)
+        # Metadata already shrank; some physical files linger. That is
+        # exactly the allowed state: M ⊆ B.
+        check_invariants(faulty_client)
+        # A later vacuum finishes the cleanup.
+        report = vacuum_indices(
+            RottnestClient(store, "idx/events", event_lake), snapshot_id=0
+        )
+        check_invariants(faulty_client)
+
+    def test_search_correct_with_orphan_index_files(self, store, event_lake):
+        """Uncommitted index files are invisible to search."""
+        faulty = FaultyObjectStore(store)
+        client = RottnestClient(faulty, "idx/events", event_lake)
+        faulty.fail_next("PUT", "_meta")
+        with pytest.raises(InjectedFault):
+            client.index("uuid", "uuid_trie")
+        key = event_uuid(1, 5)
+        res = client.search("uuid", UuidQuery(key), k=5)
+        assert len(res.matches) == 1
+        assert res.stats.index_files_queried == 0
+        assert res.stats.files_brute_forced == 2
+
+
+class TestConcurrentIndexers:
+    """§IV-A: concurrent `index` on one column is safe (just wasteful)."""
+
+    def test_duplicate_indexers_no_safety_violation(self, store, event_lake):
+        # Two clients plan against the same snapshot before either
+        # commits: both build, both commit; files end up double-covered.
+        a = RottnestClient(store, "idx/events", event_lake)
+        b = RottnestClient(store, "idx/events", event_lake)
+        snap = event_lake.snapshot()
+        rec_a = a.index("uuid", "uuid_trie", snapshot=snap)
+        # b cannot see a's commit if it planned first; emulate by
+        # inserting b's record for the same files directly, as its
+        # commit path would.
+        from repro.meta.metadata_table import IndexRecord
+
+        builder_key = rec_a.index_key
+        dup = IndexRecord(
+            index_key=builder_key + ".dup",
+            index_type="uuid_trie",
+            column="uuid",
+            covered_files=rec_a.covered_files,
+            num_rows=rec_a.num_rows,
+            size=rec_a.size,
+            created_at=rec_a.created_at,
+        )
+        store.put(dup.index_key, store.get(builder_key))
+        b.meta.insert([dup])
+        check_invariants(a)
+        # Search still returns exactly one verified match per key.
+        key = event_uuid(1, 21)
+        res = a.search("uuid", UuidQuery(key), k=10)
+        assert len(res.matches) == 1
+        # The plan uses one of the duplicates, not both.
+        assert res.stats.index_files_queried == 1
+        # Vacuum drops the redundant record.
+        report = vacuum_indices(a, snapshot_id=event_lake.latest_version())
+        assert len(report.deleted_records) == 1
+        check_invariants(a)
+
+    def test_interleaved_index_and_search(self, store, event_lake):
+        """Searches concurrent with indexing see either the pre- or
+        post-index plan, never a broken one."""
+        client = RottnestClient(store, "idx/events", event_lake)
+        key = event_uuid(2, 5)
+        res_before = client.search("uuid", UuidQuery(key), k=5)
+        assert len(res_before.matches) == 1
+        assert res_before.stats.files_brute_forced == 2
+        client.index("uuid", "uuid_trie")
+        res_after = client.search("uuid", UuidQuery(key), k=5)
+        assert len(res_after.matches) == 1
+        assert res_after.stats.files_brute_forced == 0
+
+
+class TestMaintenance:
+    def test_compact_reduces_index_files_queried(self, store, event_lake):
+        client = RottnestClient(store, "idx/events", event_lake)
+        client.index("uuid", "uuid_trie")
+        for seed in (5, 6, 7):
+            event_lake.append(event_batch(80, seed=seed))
+            client.index("uuid", "uuid_trie")
+        key = event_uuid(6, 3)
+        before = client.search("uuid", UuidQuery(key), k=5)
+        assert before.stats.index_files_queried == 4
+        merged = compact_indices(client, "uuid", "uuid_trie")
+        assert len(merged) == 1
+        after = client.search("uuid", UuidQuery(key), k=5)
+        assert after.stats.index_files_queried == 1
+        assert len(after.matches) == len(before.matches) == 1
+        check_invariants(client)
+
+    def test_compact_below_two_is_noop(self, client):
+        client.index("uuid", "uuid_trie")
+        assert compact_indices(client, "uuid", "uuid_trie") == []
+
+    def test_compact_respects_threshold(self, store, event_lake):
+        client = RottnestClient(store, "idx/events", event_lake)
+        client.index("uuid", "uuid_trie")
+        event_lake.append(event_batch(80, seed=5))
+        client.index("uuid", "uuid_trie")
+        # Thresold below both file sizes: nothing merges.
+        assert (
+            compact_indices(client, "uuid", "uuid_trie", threshold_bytes=10) == []
+        )
+
+    def test_compact_fm_uses_native_merge(self, store, event_lake):
+        """FM compaction merges from the index files alone (BWT
+        inversion), never touching the raw Parquet."""
+        client = RottnestClient(store, "idx/events", event_lake)
+        client.index("text", "fm")
+        event_lake.append(event_batch(80, seed=5))
+        client.index("text", "fm")
+        merged = compact_indices(client, "text", "fm")
+        assert len(merged) == 1
+        check_invariants(client)
+
+    def test_compact_skips_records_for_vanished_files(
+        self, store, event_lake
+    ):
+        """Index files covering only files gone from the snapshot are
+        vacuum fodder, not compaction input."""
+        client = RottnestClient(store, "idx/events", event_lake)
+        client.index("text", "fm")
+        event_lake.append(event_batch(80, seed=5))
+        client.index("text", "fm")
+        event_lake.compact(min_file_rows=1000, target_rows=5000)
+        event_lake.vacuum(retain_versions=1)
+        assert compact_indices(client, "text", "fm") == []
+        check_invariants(client)
+
+    def test_compact_ivfpq_rebuilds_from_raw_pages(self, store, event_lake):
+        """IVF-PQ compaction prefers re-reading raw Parquet (§IV-C
+        allows it) and retrains over the exact vectors."""
+        client = RottnestClient(store, "idx/events", event_lake)
+        client.index("emb", "ivf_pq", params={"nlist": 8, "m": 8})
+        event_lake.append(event_batch(300, seed=5))
+        client.index("emb", "ivf_pq", params={"nlist": 8, "m": 8})
+        merged = compact_indices(client, "emb", "ivf_pq")
+        assert len(merged) == 1
+        check_invariants(client)
+        import numpy as np
+
+        target = event_batch(300, seed=5)["emb"][7]
+        res = client.search(
+            "emb", VectorQuery(target, nprobe=8, refine=64), k=3
+        )
+        assert res.matches[0].score == pytest.approx(0.0, abs=1e-9)
+        assert res.stats.index_files_queried == 1
+
+    def test_vacuum_drops_stale_and_uncovered(self, store, event_lake, clock):
+        client = RottnestClient(store, "idx/events", event_lake)
+        client.index("uuid", "uuid_trie")
+        event_lake.compact(min_file_rows=1000, target_rows=5000)
+        client.index("uuid", "uuid_trie")  # covers the compacted file
+        report = vacuum_indices(client, snapshot_id=event_lake.latest_version())
+        # Old index only covers files gone from the latest snapshot.
+        assert len(report.deleted_records) == 1
+        assert len(report.kept) == 1
+        clock.advance(client.index_timeout_s + 1)
+        report = vacuum_indices(client, snapshot_id=event_lake.latest_version())
+        assert len(report.deleted_objects) == 1
+        check_invariants(client)
+        key = event_uuid(2, 0)
+        assert len(client.search("uuid", UuidQuery(key), k=5).matches) == 1
+
+    def test_vacuum_keeps_indices_for_retained_history(
+        self, store, event_lake, clock
+    ):
+        client = RottnestClient(store, "idx/events", event_lake)
+        client.index("uuid", "uuid_trie")
+        event_lake.compact(min_file_rows=1000, target_rows=5000)
+        client.index("uuid", "uuid_trie")
+        # Retain from snapshot 0: the old files are still "active", so
+        # the old index file stays.
+        report = vacuum_indices(client, snapshot_id=0)
+        assert report.deleted_records == []
+        check_invariants(client)
+
+    def test_compacted_search_results_identical(self, store, event_lake):
+        client = RottnestClient(store, "idx/events", event_lake)
+        client.index("text", "fm")
+        event_lake.append(event_batch(70, seed=8))
+        client.index("text", "fm")
+        docs = event_lake.to_pylist("text")
+        needles = [docs[0][:8], docs[-1][:8], "zzz-not-there"]
+        before = {
+            n: {(m.file, m.row) for m in
+                client.search("text", SubstringQuery(n), k=500).matches}
+            for n in needles
+        }
+        compact_indices(client, "text", "fm")
+        for n in needles:
+            after = {
+                (m.file, m.row)
+                for m in client.search("text", SubstringQuery(n), k=500).matches
+            }
+            assert after == before[n]

@@ -1,0 +1,254 @@
+"""k-means, product quantization, and IVF-PQ (§V-C3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RottnestIndexError
+from repro.core.index_file import IndexFileReader, IndexFileWriter, PageDirectory
+from repro.formats.page_reader import PageEntry, PageTable
+from repro.indices.vector.ivf_pq import IvfPqBuilder, IvfPqQuerier
+from repro.indices.vector.kmeans import assign, kmeans, squared_distances
+from repro.indices.vector.pq import ProductQuantizer
+from repro.workloads.vectors import VectorWorkload, exact_knn, recall_at_k
+
+
+@pytest.fixture
+def clustered():
+    gen = VectorWorkload(dim=16, n_clusters=10, seed=5)
+    return gen.batch(3000)
+
+
+class TestKmeans:
+    def test_squared_distances(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]], dtype=np.float32)
+        b = np.array([[0.0, 0.0]], dtype=np.float32)
+        d = squared_distances(a, b)
+        assert d[0, 0] == pytest.approx(0.0)
+        assert d[1, 0] == pytest.approx(25.0)
+
+    def test_assign_nearest(self):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]], dtype=np.float32)
+        points = np.array([[1.0, 1.0], [9.0, 9.0]], dtype=np.float32)
+        assert assign(points, centers).tolist() == [0, 1]
+
+    def test_kmeans_separates_clear_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(loc=0.0, scale=0.1, size=(100, 4))
+        b = rng.normal(loc=10.0, scale=0.1, size=(100, 4))
+        points = np.vstack([a, b]).astype(np.float32)
+        centers, labels = kmeans(points, 2, seed=1)
+        assert len(set(labels[:100].tolist())) == 1
+        assert len(set(labels[100:].tolist())) == 1
+        assert labels[0] != labels[150]
+
+    def test_k_clamped_to_n(self):
+        points = np.zeros((3, 2), dtype=np.float32)
+        centers, labels = kmeans(points, 10)
+        assert len(centers) == 3
+
+    def test_degenerate_identical_points(self):
+        points = np.ones((50, 4), dtype=np.float32)
+        centers, labels = kmeans(points, 4, seed=0)
+        assert np.allclose(centers, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 3), dtype=np.float32), 2)
+
+    def test_deterministic_per_seed(self, clustered):
+        c1, _ = kmeans(clustered, 8, seed=3)
+        c2, _ = kmeans(clustered, 8, seed=3)
+        assert np.array_equal(c1, c2)
+
+
+class TestProductQuantizer:
+    def test_dim_divisibility(self, clustered):
+        with pytest.raises(RottnestIndexError):
+            ProductQuantizer.train(clustered, m=5)  # 16 % 5 != 0
+
+    def test_encode_decode_error_bounded(self, clustered):
+        pq = ProductQuantizer.train(clustered, m=8, seed=0)
+        codes = pq.encode(clustered[:200])
+        decoded = pq.decode(codes)
+        err = np.mean(np.sum((decoded - clustered[:200]) ** 2, axis=1))
+        baseline = np.mean(np.sum((clustered[:200] - clustered[:200].mean(0)) ** 2, axis=1))
+        assert err < baseline * 0.5  # quantization beats mean predictor
+
+    def test_codes_shape_dtype(self, clustered):
+        pq = ProductQuantizer.train(clustered, m=4)
+        codes = pq.encode(clustered[:10])
+        assert codes.shape == (10, 4)
+        assert codes.dtype == np.uint8
+
+    def test_adc_ranks_like_exact(self, clustered):
+        pq = ProductQuantizer.train(clustered, m=8, seed=0)
+        codes = pq.encode(clustered)
+        query = clustered[0]
+        table = pq.adc_table(query)
+        approx = ProductQuantizer.adc_distances(codes, table)
+        exact = np.sum((clustered - query) ** 2, axis=1)
+        approx_top = set(np.argsort(approx)[:50].tolist())
+        exact_top = set(np.argsort(exact)[:10].tolist())
+        assert len(approx_top & exact_top) >= 7
+
+    def test_serialize_roundtrip(self, clustered):
+        pq = ProductQuantizer.train(clustered, m=4, seed=0)
+        back = ProductQuantizer.deserialize(pq.serialize())
+        assert np.array_equal(back.codebooks, pq.codebooks)
+
+    def test_query_dim_checked(self, clustered):
+        pq = ProductQuantizer.train(clustered, m=4)
+        with pytest.raises(RottnestIndexError):
+            pq.adc_table(np.zeros(7, dtype=np.float32))
+        with pytest.raises(RottnestIndexError):
+            pq.encode(np.zeros((2, 7), dtype=np.float32))
+
+    def test_small_training_set(self):
+        tiny = np.random.default_rng(0).normal(size=(20, 8)).astype(np.float32)
+        pq = ProductQuantizer.train(tiny, m=2)
+        codes = pq.encode(tiny)
+        assert codes.max() < 20  # only trained entries emitted
+
+
+def store_ivf(builder, n_pages, rows_per_page):
+    table = PageTable(
+        "v.parquet",
+        "emb",
+        [
+            PageEntry("v.parquet", i, 4 + i * 100, 100, rows_per_page,
+                      i * rows_per_page, 1)
+            for i in range(n_pages)
+        ],
+    )
+    w = IndexFileWriter("ivf_pq", "emb", PageDirectory([table]))
+    builder.write(w)
+    store_ = __import__("repro.storage", fromlist=["InMemoryObjectStore"])
+    store = store_.InMemoryObjectStore()
+    store.put("v.index", w.finish())
+    return store, IvfPqQuerier(IndexFileReader.open(store, "v.index"))
+
+
+class TestIvfPq:
+    ROWS_PER_PAGE = 250
+
+    @pytest.fixture
+    def index(self, clustered):
+        pages = [
+            (gid, clustered[gid * self.ROWS_PER_PAGE : (gid + 1) * self.ROWS_PER_PAGE])
+            for gid in range(len(clustered) // self.ROWS_PER_PAGE)
+        ]
+        builder = IvfPqBuilder.build(pages, nlist=24, m=8, seed=0)
+        store, querier = store_ivf(builder, len(pages), self.ROWS_PER_PAGE)
+        return builder, store, querier
+
+    def test_candidate_recall(self, index, clustered):
+        _, _, querier = index
+        rng = np.random.default_rng(1)
+        hits = total = 0
+        for _ in range(25):
+            query = clustered[rng.integers(len(clustered))]
+            true_top = exact_knn(clustered, query, 10)
+            cands = querier.candidates(query, nprobe=8, limit=120)
+            cand_rows = {c.gid * self.ROWS_PER_PAGE + c.offset for c in cands}
+            hits += len(set(true_top.tolist()) & cand_rows)
+            total += 10
+        assert hits / total > 0.8
+
+    def test_nprobe_increases_recall(self, index, clustered):
+        _, _, querier = index
+        rng = np.random.default_rng(2)
+        queries = [clustered[rng.integers(len(clustered))] for _ in range(20)]
+
+        def recall(nprobe):
+            hits = 0
+            for q in queries:
+                true_top = exact_knn(clustered, q, 10)
+                cands = querier.candidates(q, nprobe=nprobe, limit=200)
+                rows = {c.gid * self.ROWS_PER_PAGE + c.offset for c in cands}
+                hits += len(set(true_top.tolist()) & rows)
+            return hits / (10 * len(queries))
+
+        assert recall(12) >= recall(1)
+
+    def test_candidates_sorted_by_score(self, index, clustered):
+        _, _, querier = index
+        cands = querier.candidates(clustered[0], nprobe=4, limit=50)
+        scores = [c.score for c in cands]
+        assert scores == sorted(scores)
+
+    def test_limit_respected(self, index, clustered):
+        _, _, querier = index
+        assert len(querier.candidates(clustered[0], nprobe=24, limit=7)) == 7
+
+    def test_query_dim_checked(self, index):
+        _, _, querier = index
+        with pytest.raises(RottnestIndexError):
+            querier.candidates(np.zeros(3, dtype=np.float32))
+
+    def test_load_roundtrip(self, index):
+        builder, store, querier = index
+        loaded = IvfPqBuilder.load(querier.reader)
+        assert np.array_equal(loaded.centroids, builder.centroids)
+        assert len(loaded.lists) == len(builder.lists)
+        for (g1, o1, c1), (g2, o2, c2) in zip(loaded.lists, builder.lists):
+            assert np.array_equal(g1, g2)
+            assert np.array_equal(o1, o2)
+            assert np.array_equal(c1, c2)
+
+    def test_merge_preserves_recall(self, clustered):
+        half = len(clustered) // 2
+        rpp = self.ROWS_PER_PAGE
+        pages1 = [(g, clustered[g * rpp : (g + 1) * rpp]) for g in range(half // rpp)]
+        pages2 = [
+            (g, clustered[half + g * rpp : half + (g + 1) * rpp])
+            for g in range(half // rpp)
+        ]
+        b1 = IvfPqBuilder.build(pages1, nlist=16, m=8, seed=0)
+        b2 = IvfPqBuilder.build(pages2, nlist=16, m=8, seed=0)
+        merged = IvfPqBuilder.merge([b1, b2], [0, half // rpp])
+        store, querier = store_ivf(merged, len(clustered) // rpp, rpp)
+        rng = np.random.default_rng(3)
+        hits = total = 0
+        for _ in range(20):
+            query = clustered[rng.integers(len(clustered))]
+            true_top = exact_knn(clustered, query, 10)
+            cands = querier.candidates(query, nprobe=10, limit=150)
+            rows = {c.gid * rpp + c.offset for c in cands}
+            hits += len(set(true_top.tolist()) & rows)
+            total += 10
+        assert hits / total > 0.7
+
+    def test_min_rows_guard(self):
+        assert IvfPqBuilder.min_rows == 256
+
+    def test_two_round_access_pattern(self, index):
+        _, store, _ = index
+        querier = IvfPqQuerier(IndexFileReader.open(store, "v.index"))
+        query = np.zeros(16, dtype=np.float32)
+        store.start_trace()
+        querier.candidates(query, nprobe=4, limit=10)
+        trace = store.stop_trace()
+        # centroids (possibly tail-cached) then one parallel list round.
+        assert trace.depth <= 2
+
+    def test_non_vector_page_rejected(self):
+        with pytest.raises(RottnestIndexError):
+            IvfPqBuilder.build([(0, ["not", "vectors"])])
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(RottnestIndexError):
+            IvfPqBuilder.build([])
+
+
+class TestWorkloadHelpers:
+    def test_exact_knn_self_first(self, clustered):
+        idx = exact_knn(clustered, clustered[42], 5)
+        assert idx[0] == 42
+
+    def test_exact_knn_k_exceeds_n(self):
+        x = np.zeros((3, 2), dtype=np.float32)
+        assert len(exact_knn(x, x[0], 10)) == 3
+
+    def test_recall_at_k(self):
+        assert recall_at_k([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+        assert recall_at_k([], []) == 1.0
