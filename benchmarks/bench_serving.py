@@ -1,0 +1,210 @@
+"""Serving benchmark: the `repro.serve` subsystem end to end.
+
+Three measurements:
+
+* **cold vs warm** — repeated-query latency through the caching store:
+  the first query pays every metadata/index/page round trip; repeats
+  are served from the LRU, so modeled latency drops strictly below the
+  cold query and the cache reports a nonzero hit rate.
+* **executor scaling (Fig. 8c/8d shape)** — one query fanned across
+  1..16 searchers: latency falls until the plan's width saturates, is
+  ~flat beyond it (depth-bound), while cost per query grows ~linearly
+  with searcher count.
+* **concurrent clients** — many clients over one server: admission
+  control holds, single-flight dedup collapses identical queries, and
+  the ServeStats report feeds the §VII-D3 throughput model a measured
+  requests-per-query value.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.client import RottnestClient
+from repro.core.queries import UuidQuery
+from repro.lake.table import LakeTable, TableConfig
+from repro.formats.schema import ColumnType, Field, Schema
+from repro.serve import CachingObjectStore, SearchExecutor, SearchServer
+from repro.storage.costs import CostModel
+from repro.storage.latency import LatencyModel
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.clock import SimClock
+from repro.workloads.uuids import UuidWorkload
+
+from benchmarks.common import (
+    SEARCHER_INSTANCE,
+    build_uuid_scenario,
+    write_result,
+)
+
+COSTS = CostModel()
+LAT = LatencyModel()
+SEARCHER_HOURLY = COSTS.instance_hourly(SEARCHER_INSTANCE)
+
+
+def _serving_stack(scenario, **server_kwargs):
+    """Re-open a scenario's lake + client through a caching store and
+    put a SearchServer in front."""
+    cached = CachingObjectStore(scenario.store)
+    lake = LakeTable.open(cached, scenario.lake.root)
+    client = RottnestClient(cached, scenario.client.index_dir, lake)
+    return SearchServer(client, **server_kwargs)
+
+
+@pytest.fixture(scope="module")
+def uuid_scenario():
+    return build_uuid_scenario(keys_per_file=6000, files=3)
+
+
+def test_cold_vs_warm_repeated_query(uuid_scenario, benchmark):
+    """Warm-cache repeated queries beat the cold query strictly."""
+    scenario = uuid_scenario
+    measured_key = scenario.uuid_gen.present_queries(1)[0]
+    server = _serving_stack(scenario, max_searchers=4, max_inflight=4)
+    with server:
+        query = UuidQuery(measured_key)
+        cold_result = server.query(scenario.column, query, k=5)
+        cold = server.stats.latencies_s[-1]
+        warm_latencies = []
+        for _ in range(5):
+            warm_result = server.query(scenario.column, query, k=5)
+            warm_latencies.append(server.stats.latencies_s[-1])
+        # Benchmark wall-clock of the (warm) serve path itself.
+        benchmark(lambda: server.query(scenario.column, query, k=5))
+        stats = server.stats
+        lines = [
+            "=== serving: cold vs warm repeated query (modeled) ===",
+            f"cold:  {cold * 1000:8.1f} ms",
+            f"warm:  {max(warm_latencies) * 1000:8.1f} ms (worst of 5)",
+            stats.describe(server.max_inflight),
+        ]
+        text = "\n".join(lines)
+        print(text)
+        write_result("serving_cold_warm.txt", text)
+        # Acceptance: warm strictly below cold, nonzero hit rate,
+        # identical results.
+        assert max(warm_latencies) < cold
+        assert stats.cache_hit_rate > 0
+        assert [(m.file, m.row) for m in warm_result.matches] == [
+            (m.file, m.row) for m in cold_result.matches
+        ]
+        # The measured requests/query feeds the §VII-D3 model.
+        model = stats.throughput_model()
+        assert model.rottnest_requests_per_query == pytest.approx(
+            stats.requests_per_query
+        )
+        assert model.rottnest_max_qps > 0
+
+
+def _incremental_uuid_deployment(files: int = 3, keys_per_file: int = 4000):
+    """A lake indexed file-by-file, so one query probes ``files``
+    independent index files — the parallel width Fig. 8c exploits."""
+    store = InMemoryObjectStore(clock=SimClock())
+    schema = Schema.of(Field("uuid", ColumnType.BINARY))
+    lake = LakeTable.create(
+        store, "lake/uuid", schema,
+        TableConfig(row_group_rows=2000, page_target_bytes=64 * 1024),
+    )
+    gen = UuidWorkload(seed=3, nbytes=128)
+    client = RottnestClient(store, "idx/uuid", lake)
+    for _ in range(files):
+        lake.append({"uuid": gen.batch(keys_per_file)})
+        client.index("uuid", "uuid_trie")
+    return client, gen
+
+
+def test_executor_scaling_fig8cd_shape(benchmark):
+    """Latency ~flat once searchers cover the plan's width; cost grows
+    ~linearly with searchers (Fig. 8c/8d)."""
+    client, gen = _incremental_uuid_deployment(files=3)
+    query = UuidQuery(gen.present_queries(1)[0])
+    benchmark(lambda: client.search("uuid", query, k=5))
+    sequential = client.search("uuid", query, k=5)
+    widths = [1, 2, 4, 8, 16]
+    rows = []
+    for width in widths:
+        with SearchExecutor(client, max_searchers=width) as executor:
+            result = executor.search("uuid", query, k=5)
+        assert [(m.file, m.row) for m in result.matches] == [
+            (m.file, m.row) for m in sequential.matches
+        ]
+        latency = result.stats.estimated_latency(LAT)
+        cost = latency * width * SEARCHER_HOURLY / 3600.0
+        rows.append((width, latency, cost))
+    lines = ["=== serving: executor scaling with max_searchers ==="]
+    for width, latency, cost in rows:
+        lines.append(
+            f"  searchers={width:>2}: latency={latency * 1000:7.1f} ms  "
+            f"cost/query=${cost:.2e}"
+        )
+    text = "\n".join(lines)
+    print(text)
+    write_result("serving_scaling.txt", text)
+    latencies = {w: l for w, l, _ in rows}
+    costs = {w: c for w, _, c in rows}
+    # More searchers never hurt latency...
+    for earlier, later in zip(widths, widths[1:]):
+        assert latencies[later] <= latencies[earlier] * 1.001
+    # ...but once the plan's width is covered, latency is flat
+    # (depth-bound) while cost keeps growing linearly with searchers.
+    flat = [latencies[w] for w in (4, 8, 16)]
+    assert max(flat) == pytest.approx(min(flat), rel=0.05)
+    assert costs[16] / costs[4] == pytest.approx(4.0, rel=0.05)
+    assert costs[16] > costs[1]
+
+
+def test_concurrent_clients(uuid_scenario, benchmark):
+    """Many clients through one server: everything stays correct and
+    the dedup/admission counters add up."""
+    scenario = uuid_scenario
+    keys = scenario.uuid_gen.present_queries(4)
+    server = _serving_stack(
+        scenario, max_searchers=2, max_inflight=8
+    )
+    with server:
+        server.warmup()
+        benchmark(lambda: server.query(scenario.column, UuidQuery(keys[0]), k=3))
+        baseline_queries = server.stats.queries
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def client_loop(client_id: int) -> None:
+            try:
+                out = []
+                for repeat in range(3):
+                    query = UuidQuery(keys[(client_id + repeat) % len(keys)])
+                    result = server.query(scenario.column, query, k=3)
+                    out.append([(m.file, m.row) for m in result.matches])
+                results[client_id] = out
+            except BaseException as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = server.stats
+        lines = [
+            "=== serving: 6 concurrent clients x 3 queries ===",
+            stats.describe(server.max_inflight),
+        ]
+        text = "\n".join(lines)
+        print(text)
+        write_result("serving_concurrent.txt", text)
+        assert len(results) == 6
+        # Every client sees the same answer for the same key.
+        reference = {}
+        for client_id, out in results.items():
+            for repeat, matches in enumerate(out):
+                key = keys[(client_id + repeat) % len(keys)]
+                reference.setdefault(key, matches)
+                assert reference[key] == matches
+        assert stats.queries == baseline_queries + 6 * 3
+        assert stats.cache_hit_rate > 0
+        assert stats.qps_estimate(server.max_inflight) > 0

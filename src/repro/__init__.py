@@ -10,6 +10,8 @@ Layer map (bottom up):
 * :mod:`repro.indices` — componentized trie / FM-index / IVF-PQ,
 * :mod:`repro.core` — the Rottnest client protocol
   (``index`` / ``search`` / ``compact`` / ``vacuum``),
+* :mod:`repro.serve` — concurrent query serving with caching,
+  single-flight deduplication, and admission control,
 * :mod:`repro.engines` — brute-force and copy-data baselines,
 * :mod:`repro.tco` — the TCO phase-diagram evaluation framework,
 * :mod:`repro.workloads` — synthetic workload generators.
@@ -33,6 +35,7 @@ from repro.core import (
 )
 from repro.lake import LakeTable, TableConfig
 from repro.formats import ColumnType, Field, Schema
+from repro.serve import CachingObjectStore, SearchExecutor, SearchServer
 from repro.storage import InMemoryObjectStore, LocalFSObjectStore
 
 __version__ = "1.0.0"
@@ -53,6 +56,9 @@ __all__ = [
     "ColumnType",
     "Field",
     "Schema",
+    "CachingObjectStore",
+    "SearchExecutor",
+    "SearchServer",
     "InMemoryObjectStore",
     "LocalFSObjectStore",
     "__version__",

@@ -201,6 +201,54 @@ def cmd_search(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    """Repeated-query serving benchmark: cold vs warm, concurrency."""
+    import threading
+
+    from repro.serve import SearchServer
+
+    store = LocalFSObjectStore(args.root)
+    server = SearchServer.for_lake(
+        store,
+        args.index_dir,
+        args.table,
+        cache_budget_bytes=args.cache_mb << 20,
+        max_searchers=args.max_searchers,
+        max_inflight=max(args.clients, 1),
+    )
+    query = _build_query(args)
+    with server:
+        if args.warmup:
+            warmed = server.warmup()
+            print(f"warmed {warmed} index file(s)", file=sys.stderr)
+        cold = server.query(
+            args.column, query, k=args.k, partition=args.partition
+        )
+        cold_latency = server.stats.latencies_s[0]
+
+        def run_client() -> None:
+            for _ in range(args.repeat):
+                server.query(
+                    args.column, query, k=args.k, partition=args.partition
+                )
+
+        threads = [
+            threading.Thread(target=run_client) for _ in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        warm_latency = server.stats.latencies_s[-1]
+        print(
+            f"# {len(cold.matches)} match(es); cold "
+            f"{cold_latency * 1000:.1f} ms -> warm "
+            f"{warm_latency * 1000:.1f} ms modeled"
+        )
+        print(server.stats.describe(server.max_inflight))
+    return 0
+
+
 def cmd_compact(args) -> int:
     store, lake = _open(args)
     client = RottnestClient(store, args.index_dir, lake)
@@ -308,6 +356,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--refine", type=int, default=100)
     p.add_argument("--partition", help="restrict to one partition")
     p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="repeated-query serving benchmark (cache + concurrency)",
+    )
+    common(p, index_dir_required=True)
+    p.add_argument("--column", required=True)
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--uuid", help="hex key")
+    p.add_argument("--substring")
+    p.add_argument("--regex")
+    p.add_argument("--vector", help="JSON array of floats")
+    p.add_argument(
+        "--range", nargs=2, metavar=("LO", "HI"),
+        help="inclusive range, JSON values",
+    )
+    p.add_argument("--nprobe", type=int, default=8)
+    p.add_argument("--refine", type=int, default=100)
+    p.add_argument("--partition", help="restrict to one partition")
+    p.add_argument("--repeat", type=int, default=4, help="queries per client")
+    p.add_argument("--clients", type=int, default=2, help="concurrent clients")
+    p.add_argument("--max-searchers", type=int, default=4)
+    p.add_argument("--cache-mb", type=int, default=64)
+    p.add_argument(
+        "--warmup", action="store_true",
+        help="pre-load metadata and index roots before the cold query",
+    )
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("compact", help="merge small index files")
     common(p, index_dir_required=True)

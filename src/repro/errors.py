@@ -81,4 +81,13 @@ class TCOError(ReproError):
     """Invalid input to the TCO / phase-diagram framework."""
 
 
+class ServeError(ReproError):
+    """Base class for query-serving (``repro.serve``) failures."""
+
+
+class ServerOverloaded(ServeError):
+    """Admission control rejected a query: the server already has its
+    maximum number of in-flight queries and shedding was requested."""
+
+
 RottnestIndexError = IndexError_

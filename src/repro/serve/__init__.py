@@ -1,0 +1,28 @@
+"""Query serving: concurrent execution, caching, admission control.
+
+The one-shot :class:`~repro.core.client.RottnestClient` turns into a
+query-serving system here (paper Fig. 8c/8d; ROADMAP north star):
+
+* :mod:`repro.serve.executor` — fan one query's index probes and page
+  reads across a bounded searcher pool,
+* :mod:`repro.serve.cache` — byte-budgeted LRU in front of the object
+  store, with size-based admission and single-flight misses,
+* :mod:`repro.serve.singleflight` — deduplicate concurrent identical
+  work,
+* :mod:`repro.serve.server` — admission control, warmup, and the
+  :class:`ServeStats` report that feeds :mod:`repro.tco.throughput`.
+"""
+
+from repro.serve.cache import CacheStats, CachingObjectStore
+from repro.serve.executor import SearchExecutor
+from repro.serve.server import SearchServer, ServeStats
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "CacheStats",
+    "CachingObjectStore",
+    "SearchExecutor",
+    "SearchServer",
+    "ServeStats",
+    "SingleFlight",
+]

@@ -1,0 +1,254 @@
+"""Caching object-store wrapper for the serving read path.
+
+Cloud-oriented indexes live or die by the cache in front of object
+storage (Airphant makes the same observation): every Rottnest query
+re-reads the same hot components — the metadata-table checkpoint, index
+file tails, trie roots — and at ~30 ms time-to-first-byte per GET those
+repeats dominate warm-query latency. :class:`CachingObjectStore` wraps
+any :class:`~repro.storage.object_store.ObjectStore` (the same ABC
+``RetryingObjectStore`` implements, so the two stack in either order)
+with:
+
+* a **byte-budgeted LRU** over whole objects *and* byte-ranges — object
+  storage charges per request, so caching a 2 KB trie root is worth as
+  much as caching a 2 MB component;
+* **size-based admission**: ranges above ``max_entry_bytes`` are served
+  but never cached, so one big brute-force scan cannot evict the whole
+  working set (scan resistance);
+* **invalidation** on ``put`` / ``delete`` of a key, keeping the wrapper
+  transparent as long as writes flow through it (read-your-writes);
+* **metadata caching**: LIST-by-prefix and HEAD results (the paper's
+  latency model makes LIST pages cost ~100 ms and unparallelisable, so
+  the plan phase of a warm query is where caching pays most); a write
+  to any key invalidates its HEAD entry and every cached LIST whose
+  prefix covers the key;
+* **single-flight** misses: concurrent identical GETs share one
+  underlying fetch instead of stampeding the store; and
+* hit / miss / eviction counters feeding
+  :class:`~repro.serve.server.ServeStats`.
+
+Cache hits never reach the inner store, so they record no request into
+IO stats or the active :class:`~repro.storage.stats.RequestTrace` —
+which is exactly how a warm query's *modeled* latency drops below the
+cold one.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.serve.singleflight import SingleFlight
+from repro.storage.object_store import ObjectInfo, ObjectStore
+
+#: Cache key: (object key, None) for a whole object, or
+#: (object key, (offset, length)) for one byte range.
+_CacheKey = tuple[str, tuple[int, int] | None]
+
+DEFAULT_BUDGET_BYTES = 256 << 20
+DEFAULT_MAX_ENTRY_BYTES = 8 << 20
+#: LIST/HEAD results kept (count-bounded; they are metadata-sized).
+DEFAULT_MAX_META_ENTRIES = 4096
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`CachingObjectStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    rejected: int = 0  # entries not admitted (above max_entry_bytes)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachingObjectStore(ObjectStore):
+    """Read-through LRU cache over an inner object store.
+
+    Transparency contract: any operation sequence through the wrapper
+    returns byte-identical results to running it against the inner
+    store directly, provided all mutations of cached keys also go
+    through the wrapper (verified by a hypothesis property test).
+    """
+
+    def __init__(
+        self,
+        inner: ObjectStore,
+        *,
+        budget_bytes: int = DEFAULT_BUDGET_BYTES,
+        max_entry_bytes: int = DEFAULT_MAX_ENTRY_BYTES,
+    ) -> None:
+        super().__init__(inner.clock)
+        if budget_bytes < 1:
+            raise ValueError("budget_bytes must be >= 1")
+        self.inner = inner
+        self.budget_bytes = budget_bytes
+        self.max_entry_bytes = min(max_entry_bytes, budget_bytes)
+        self.stats = inner.stats  # billed IO is the inner store's
+        self.cache_stats = CacheStats()
+        self._entries: OrderedDict[_CacheKey, bytes] = OrderedDict()
+        self._by_object: dict[str, set[_CacheKey]] = {}
+        self._generation: dict[str, int] = {}  # bumped on invalidate
+        self._cached_bytes = 0
+        self._lists: OrderedDict[str, list[ObjectInfo]] = OrderedDict()
+        self._heads: OrderedDict[str, ObjectInfo] = OrderedDict()
+        self._write_epoch = 0  # any invalidation; guards LIST admission
+        self._max_meta_entries = DEFAULT_MAX_META_ENTRIES
+        self._cache_lock = threading.RLock()
+        self._flights = SingleFlight()
+
+    # -- cache mechanics ----------------------------------------------
+    @property
+    def cached_bytes(self) -> int:
+        return self._cached_bytes
+
+    def _lookup(self, key: str, byte_range: tuple[int, int] | None) -> bytes | None:
+        """Cached bytes for a request, or None. A whole-object entry
+        serves any in-bounds range of that object."""
+        with self._cache_lock:
+            data = self._entries.get((key, byte_range))
+            if data is not None:
+                self._entries.move_to_end((key, byte_range))
+                self.cache_stats.hits += 1
+                return data
+            if byte_range is not None:
+                whole = self._entries.get((key, None))
+                if whole is not None:
+                    offset, length = byte_range
+                    if 0 <= offset and 0 <= length and offset + length <= len(whole):
+                        self._entries.move_to_end((key, None))
+                        self.cache_stats.hits += 1
+                        return whole[offset : offset + length]
+            self.cache_stats.misses += 1
+            return None
+
+    def _admit(
+        self,
+        key: str,
+        byte_range: tuple[int, int] | None,
+        data: bytes,
+        generation: int,
+    ) -> None:
+        if len(data) > self.max_entry_bytes:
+            with self._cache_lock:
+                self.cache_stats.rejected += 1
+            return
+        cache_key: _CacheKey = (key, byte_range)
+        with self._cache_lock:
+            if self._generation.get(key, 0) != generation:
+                return  # key was written/deleted while this fetch flew
+            old = self._entries.pop(cache_key, None)
+            if old is not None:
+                self._cached_bytes -= len(old)
+            self._entries[cache_key] = data
+            self._by_object.setdefault(key, set()).add(cache_key)
+            self._cached_bytes += len(data)
+            while self._cached_bytes > self.budget_bytes:
+                victim_key, victim = self._entries.popitem(last=False)
+                self._cached_bytes -= len(victim)
+                self._by_object[victim_key[0]].discard(victim_key)
+                self.cache_stats.evictions += 1
+
+    def invalidate(self, key: str) -> None:
+        """Drop every cached entry for a key: whole object, ranges, its
+        HEAD, and any LIST whose prefix covers the key."""
+        with self._cache_lock:
+            self._generation[key] = self._generation.get(key, 0) + 1
+            self._write_epoch += 1
+            for cache_key in self._by_object.pop(key, set()):
+                data = self._entries.pop(cache_key, None)
+                if data is not None:
+                    self._cached_bytes -= len(data)
+                    self.cache_stats.invalidations += 1
+            if self._heads.pop(key, None) is not None:
+                self.cache_stats.invalidations += 1
+            for prefix in [p for p in self._lists if key.startswith(p)]:
+                del self._lists[prefix]
+                self.cache_stats.invalidations += 1
+
+    def clear(self) -> None:
+        """Drop the entire cache (counters are kept)."""
+        with self._cache_lock:
+            self._entries.clear()
+            self._by_object.clear()
+            self._lists.clear()
+            self._heads.clear()
+            self._cached_bytes = 0
+
+    # -- operations ----------------------------------------------------
+    def get(self, key: str, byte_range: tuple[int, int] | None = None) -> bytes:
+        cached = self._lookup(key, byte_range)
+        if cached is not None:
+            return cached
+
+        with self._cache_lock:
+            generation = self._generation.get(key, 0)
+
+        def fetch() -> bytes:
+            data = self.inner.get(key, byte_range)
+            self._admit(key, byte_range, data, generation)
+            return data
+
+        return self._flights.do(("GET", key, byte_range), fetch)
+
+    def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
+        # Invalidate even on a failed conditional PUT: the attempt
+        # proves the caller is about to re-read the key's latest state.
+        self.invalidate(key)
+        return self.inner.put(key, data, if_none_match=if_none_match)
+
+    def delete(self, key: str) -> None:
+        self.invalidate(key)
+        self.inner.delete(key)
+
+    def head(self, key: str) -> ObjectInfo:
+        with self._cache_lock:
+            info = self._heads.get(key)
+            if info is not None:
+                self._heads.move_to_end(key)
+                self.cache_stats.hits += 1
+                return info
+            self.cache_stats.misses += 1
+            generation = self._generation.get(key, 0)
+        info = self.inner.head(key)
+        with self._cache_lock:
+            if self._generation.get(key, 0) == generation:
+                self._heads[key] = info
+                while len(self._heads) > self._max_meta_entries:
+                    self._heads.popitem(last=False)
+                    self.cache_stats.evictions += 1
+        return info
+
+    def list(self, prefix: str = "") -> list[ObjectInfo]:
+        with self._cache_lock:
+            infos = self._lists.get(prefix)
+            if infos is not None:
+                self._lists.move_to_end(prefix)
+                self.cache_stats.hits += 1
+                return list(infos)
+            self.cache_stats.misses += 1
+            epoch = self._write_epoch
+        infos = self.inner.list(prefix)
+        with self._cache_lock:
+            if self._write_epoch == epoch:
+                self._lists[prefix] = list(infos)
+                while len(self._lists) > self._max_meta_entries:
+                    self._lists.popitem(last=False)
+                    self.cache_stats.evictions += 1
+        return infos
+
+    # -- tracing delegates to the inner store --------------------------
+    def start_trace(self):
+        return self.inner.start_trace()
+
+    def stop_trace(self):
+        return self.inner.stop_trace()
+
+    def barrier(self) -> None:
+        self.inner.barrier()

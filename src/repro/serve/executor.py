@@ -1,0 +1,353 @@
+"""Concurrent search execution (paper Fig. 8c/8d).
+
+Rottnest's defining serving property is that index-file queries are
+*independent*: one query fans its index probes and in-situ page reads
+across searchers, latency stays ~flat (the dependency *depth* is the
+floor) while cost grows ~linearly with searcher count.
+:class:`RottnestClient.search` executes that plan one index file at a
+time on one thread; :class:`SearchExecutor` runs the same plan across a
+bounded worker pool.
+
+Execution keeps the sequential client's *semantics* bit-for-bit — the
+matches returned are identical (an equivalence test enforces this
+across the UUID, substring, and vector workloads) — while the measured
+:class:`~repro.storage.stats.RequestTrace` reflects the real
+concurrency: each worker records its own per-thread trace; traces of
+tasks running in the same wave of ``max_searchers`` workers merge with
+``merge_parallel``, waves compose sequentially with ``then``. With one
+searcher the trace degenerates to the sequential client's shape; with
+many it reproduces Fig. 8c's flat-latency/linear-cost curve.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, TypeVar
+
+from repro.core.client import (
+    RottnestClient,
+    SearchMatch,
+    SearchResult,
+    SearchStats,
+    _exact_key,
+    _raise_unmaterialized,
+)
+from repro.core.index_file import IndexFileReader
+from repro.core.queries import Query, VectorQuery
+from repro.errors import ObjectStoreError, RottnestIndexError
+from repro.formats.page_reader import PageEntry, read_page
+from repro.indices.base import ExactQuerier, ScoringQuerier, querier_for
+from repro.lake.snapshot import Snapshot
+from repro.meta.metadata_table import IndexRecord
+from repro.storage.stats import RequestTrace
+
+T = TypeVar("T")
+
+
+class SearchExecutor:
+    """Runs one query's search plan across ``max_searchers`` workers.
+
+    Usable as a context manager; :meth:`close` shuts the pool down.
+    Results are interchangeable with ``client.search`` — only the
+    request trace (and therefore modeled latency/cost) differs.
+    """
+
+    def __init__(self, client: RottnestClient, *, max_searchers: int = 4) -> None:
+        if max_searchers < 1:
+            raise RottnestIndexError(
+                f"max_searchers must be >= 1, got {max_searchers}"
+            )
+        self.client = client
+        self.max_searchers = max_searchers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_searchers, thread_name_prefix="searcher"
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SearchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- fan-out machinery ---------------------------------------------
+    def _traced(self, fn: Callable[[], T]) -> Callable[[], tuple[RequestTrace, T]]:
+        """Wrap a task so it records store requests into its own
+        per-thread trace and returns ``(trace, payload)``."""
+        store = self.client.store
+
+        def run() -> tuple[RequestTrace, T]:
+            store.start_trace()
+            try:
+                payload = fn()
+            finally:
+                trace = store.stop_trace()
+            return trace, payload
+
+        return run
+
+    def _fan_out(self, tasks: list[Callable[[], T]]) -> tuple[RequestTrace, list[T]]:
+        """Run tasks on the pool in waves of ``max_searchers``.
+
+        Traces within a wave merge in parallel; waves compose
+        sequentially (only ``max_searchers`` requests can be in flight
+        at once). Payloads come back in task order regardless of
+        completion order, which is what keeps results deterministic.
+        """
+        combined = RequestTrace()
+        payloads: list[T] = []
+        width = self.max_searchers
+        for start in range(0, len(tasks), width):
+            wave = tasks[start : start + width]
+            futures = [self._pool.submit(self._traced(fn)) for fn in wave]
+            wave_trace = RequestTrace()
+            errors: list[BaseException] = []
+            for future in futures:
+                try:
+                    trace, payload = future.result()
+                except BaseException as exc:  # collect, then re-raise first
+                    errors.append(exc)
+                    continue
+                wave_trace = wave_trace.merge_parallel(trace)
+                payloads.append(payload)
+            if errors:
+                raise errors[0]
+            combined = combined.then(wave_trace)
+        return combined, payloads
+
+    # -- public API ----------------------------------------------------
+    def search(
+        self,
+        column: str,
+        query: Query,
+        *,
+        k: int = 10,
+        snapshot: Snapshot | None = None,
+        partition: str | None = None,
+        file_predicate=None,
+    ) -> SearchResult:
+        """Concurrent equivalent of :meth:`RottnestClient.search`."""
+        if k < 1:
+            raise RottnestIndexError(f"k must be >= 1, got {k}")
+        client = self.client
+        store = client.store
+        # Plan phase on the calling thread: metadata-table and manifest
+        # reads are inherently sequential round trips.
+        store.start_trace()
+        snap = snapshot or client.lake.snapshot()
+        snap_paths = client._scope(snap, partition, file_predicate)
+        chosen, uncovered = client._plan(column, query, snap_paths)
+        plan_trace = store.stop_trace()
+        plan_trace.barrier()
+
+        stats = SearchStats(trace=plan_trace)
+        stats.index_files_queried = len(chosen)
+        if query.scoring:
+            matches = self._scoring(
+                column, query, k, snap, snap_paths, chosen, uncovered, stats
+            )
+        else:
+            matches = self._exact(
+                column, query, k, snap, snap_paths, chosen, uncovered, stats
+            )
+        return SearchResult(matches=matches, stats=stats)
+
+    # -- exact path ------------------------------------------------------
+    def _exact(
+        self,
+        column: str,
+        query: Query,
+        k: int,
+        snap: Snapshot,
+        snap_paths: set[str],
+        chosen: list[IndexRecord],
+        uncovered: set[str],
+        stats: SearchStats,
+    ) -> list[SearchMatch]:
+        client = self.client
+        store = client.store
+
+        def probe_index(record: IndexRecord) -> list[PageEntry]:
+            reader = IndexFileReader.open(store, record.index_key)
+            querier = querier_for(record.index_type)(reader)
+            assert isinstance(querier, ExactQuerier)
+            gids = querier.candidate_pages(_exact_key(query))
+            directory = reader.directory
+            return [
+                entry
+                for entry in (directory.locate(gid) for gid in gids)
+                if entry.file_key in snap_paths
+            ]
+
+        index_trace, per_record = self._fan_out(
+            [lambda r=record: probe_index(r) for record in chosen]
+        )
+        stats.trace = stats.trace.then(index_trace)
+        # Dedup across records in submission order — same first-wins
+        # rule as the sequential client's shared `seen_pages` set.
+        candidate_pages: list[PageEntry] = []
+        seen_pages: set[tuple[str, int]] = set()
+        for entries in per_record:
+            for entry in entries:
+                page_key = (entry.file_key, entry.page_id)
+                if page_key not in seen_pages:
+                    seen_pages.add(page_key)
+                    candidate_pages.append(entry)
+        stats.candidates = len(candidate_pages)
+
+        # In-situ probing: page reads fan across the pool; verification
+        # replays them in candidate order so early-K termination picks
+        # the same matches the sequential scan would.
+        field = snap.schema.field(column)
+
+        def probe_page(entry: PageEntry):
+            try:
+                row_start, values = read_page(store, field, entry)
+            except ObjectStoreError as exc:
+                _raise_unmaterialized(snap, entry.file_key, exc)
+            dv = client.lake.deletion_vector(snap, entry.file_key)
+            return row_start, values, dv
+
+        probe_trace, pages = self._fan_out(
+            [lambda e=entry: probe_page(e) for entry in candidate_pages]
+        )
+        stats.trace = stats.trace.then(probe_trace)
+        stats.pages_probed = len(pages)
+        matches: list[SearchMatch] = []
+        for entry, (row_start, values, dv) in zip(candidate_pages, pages):
+            page_hit = False
+            for i, value in enumerate(values):
+                row = row_start + i
+                if row in dv or not query.matches(value):
+                    continue
+                page_hit = True
+                matches.append(
+                    SearchMatch(file=entry.file_key, row=row, value=value)
+                )
+            if not page_hit:
+                stats.false_positives += 1
+            if len(matches) >= k:
+                break
+
+        if len(matches) < k and uncovered:
+            needed = k - len(matches)
+            brute_trace, per_file = self._fan_out(
+                [
+                    lambda p=path: client._brute_force_exact(
+                        column, query, snap, p, needed
+                    )
+                    for path in sorted(uncovered)
+                ]
+            )
+            stats.trace = stats.trace.then(brute_trace)
+            stats.files_brute_forced = len(per_file)
+            for file_matches in per_file:
+                matches.extend(file_matches)
+                if len(matches) >= k:
+                    break
+        return matches[:k]
+
+    # -- scoring path ----------------------------------------------------
+    def _scoring(
+        self,
+        column: str,
+        query: VectorQuery,
+        k: int,
+        snap: Snapshot,
+        snap_paths: set[str],
+        chosen: list[IndexRecord],
+        uncovered: set[str],
+        stats: SearchStats,
+    ) -> list[SearchMatch]:
+        client = self.client
+        store = client.store
+
+        def probe_index(record: IndexRecord):
+            reader = IndexFileReader.open(store, record.index_key)
+            querier = querier_for(record.index_type)(reader)
+            assert isinstance(querier, ScoringQuerier)
+            found = querier.candidates(
+                query.vector, nprobe=query.nprobe, limit=query.refine
+            )
+            directory = reader.directory
+            return [
+                (entry, cand.offset, cand.score)
+                for cand in found
+                for entry in (directory.locate(cand.gid),)
+                if entry.file_key in snap_paths
+            ]
+
+        index_trace, per_record = self._fan_out(
+            [lambda r=record: probe_index(r) for record in chosen]
+        )
+        stats.trace = stats.trace.then(index_trace)
+        candidates: list[tuple[PageEntry, int, float]] = []
+        for found in per_record:
+            candidates.extend(found)
+        candidates.sort(key=lambda c: c[2])
+        candidates = candidates[: query.refine]
+        stats.candidates = len(candidates)
+
+        # Refine: group candidates by page (insertion order, like the
+        # sequential client), fan the page reads, then score in order.
+        field = snap.schema.field(column)
+        by_page: dict[tuple[str, int], list[int]] = {}
+        entries: dict[tuple[str, int], PageEntry] = {}
+        for entry, offset, _ in candidates:
+            page_key = (entry.file_key, entry.page_id)
+            by_page.setdefault(page_key, []).append(offset)
+            entries[page_key] = entry
+
+        def probe_page(entry: PageEntry):
+            try:
+                row_start, values = read_page(store, field, entry)
+            except ObjectStoreError as exc:
+                _raise_unmaterialized(snap, entry.file_key, exc)
+            dv = client.lake.deletion_vector(snap, entry.file_key)
+            return row_start, values, dv
+
+        page_keys = list(by_page)
+        refine_trace, pages = self._fan_out(
+            [lambda pk=page_key: probe_page(entries[pk]) for page_key in page_keys]
+        )
+        stats.pages_probed = len(pages)
+        scored: list[SearchMatch] = []
+        for page_key, (row_start, values, dv) in zip(page_keys, pages):
+            entry = entries[page_key]
+            for offset in set(by_page[page_key]):
+                row = row_start + offset
+                if row in dv:
+                    continue
+                value = values[offset]
+                scored.append(
+                    SearchMatch(
+                        file=entry.file_key,
+                        row=row,
+                        value=value,
+                        score=query.distance(value),
+                    )
+                )
+
+        def scan_file(path: str) -> list[SearchMatch]:
+            dv = client.lake.deletion_vector(snap, path)
+            reader = client._open_data_file(snap, path)
+            return [
+                SearchMatch(
+                    file=path, row=row, value=value, score=query.distance(value)
+                )
+                for row, value in reader.scan_column(column)
+                if row not in dv
+            ]
+
+        scan_trace, per_file = self._fan_out(
+            [lambda p=path: scan_file(p) for path in sorted(uncovered)]
+        )
+        stats.files_brute_forced = len(per_file)
+        for file_matches in per_file:
+            scored.extend(file_matches)
+        stats.trace = stats.trace.then(refine_trace).then(scan_trace)
+        scored.sort(key=lambda m: m.score)
+        return scored[:k]

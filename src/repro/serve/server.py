@@ -1,0 +1,285 @@
+"""The query-serving front end: admission control, warmup, stats.
+
+:class:`SearchServer` is the piece the ROADMAP's "heavy traffic" north
+star needs in front of :class:`~repro.core.client.RottnestClient`: it
+owns a :class:`~repro.serve.executor.SearchExecutor` (bounded
+concurrency *within* a query), an optional
+:class:`~repro.serve.cache.CachingObjectStore` (reuse *across*
+queries), per-server admission control (bounded concurrency *across*
+queries), single-flight deduplication of identical in-flight queries,
+and a warmup path that pre-loads the hot read-path components — the
+metadata-table state, every index file's tail, its page directory, and
+the trie root lookup tables — so the first user-facing query already
+runs warm.
+
+:class:`ServeStats` aggregates what operators watch (QPS estimate,
+cache hit rate, modeled latency percentiles) and feeds the measured
+requests-per-query back into :mod:`repro.tco.throughput`, replacing
+that model's assumed constant with an observed one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.client import RottnestClient, SearchResult
+from repro.core.index_file import IndexFileReader
+from repro.core.queries import Query, VectorQuery
+from repro.errors import ServeError, ServerOverloaded
+from repro.lake.snapshot import Snapshot
+from repro.lake.table import LakeTable
+from repro.serve.cache import CacheStats, CachingObjectStore
+from repro.serve.executor import SearchExecutor
+from repro.serve.singleflight import SingleFlight
+from repro.storage.latency import LatencyModel
+from repro.storage.object_store import ObjectStore
+from repro.tco.throughput import ThroughputModel
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class ServeStats:
+    """Aggregate serving report for one :class:`SearchServer`."""
+
+    queries: int = 0
+    rejected: int = 0  # shed by admission control
+    deduplicated: int = 0  # served by another query's flight
+    total_requests: int = 0  # object-store requests across all queries
+    latencies_s: list[float] = field(default_factory=list)  # modeled
+    cache: CacheStats | None = None
+
+    @property
+    def mean_latency_s(self) -> float:
+        return sum(self.latencies_s) / len(self.latencies_s) if self.latencies_s else 0.0
+
+    def percentile(self, q: float) -> float:
+        return _percentile(sorted(self.latencies_s), q)
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p90_s(self) -> float:
+        return self.percentile(0.90)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(0.99)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate if self.cache is not None else 0.0
+
+    @property
+    def requests_per_query(self) -> float:
+        return self.total_requests / self.queries if self.queries else 0.0
+
+    def qps_estimate(self, max_inflight: int) -> float:
+        """Little's-law throughput ceiling: ``max_inflight`` queries in
+        flight, each holding a slot for its mean modeled latency."""
+        mean = self.mean_latency_s
+        return max_inflight / mean if mean > 0 else 0.0
+
+    def throughput_model(self, base: ThroughputModel | None = None) -> ThroughputModel:
+        """A §VII-D3 throughput model with the *measured* requests per
+        query in place of the paper's assumed constant."""
+        base = base or ThroughputModel()
+        rpq = self.requests_per_query
+        if rpq <= 0:
+            return base
+        return ThroughputModel(
+            prefix_get_rps=base.prefix_get_rps,
+            rottnest_requests_per_query=rpq,
+            dedicated_qps=base.dedicated_qps,
+            brute_force_concurrent_clusters=base.brute_force_concurrent_clusters,
+        )
+
+    def describe(self, max_inflight: int | None = None) -> str:
+        lines = [
+            f"queries served:    {self.queries} "
+            f"({self.deduplicated} deduplicated, {self.rejected} shed)",
+            f"requests/query:    {self.requests_per_query:.1f}",
+            f"modeled latency:   p50 {self.p50_s * 1000:.1f} ms  "
+            f"p90 {self.p90_s * 1000:.1f} ms  p99 {self.p99_s * 1000:.1f} ms",
+        ]
+        if self.cache is not None:
+            lines.append(
+                f"cache:             {self.cache.hits} hits / "
+                f"{self.cache.misses} misses "
+                f"(hit rate {self.cache.hit_rate:.1%}, "
+                f"{self.cache.evictions} evictions)"
+            )
+        if max_inflight is not None:
+            lines.append(
+                f"QPS ceiling:       ~{self.qps_estimate(max_inflight):.1f} "
+                f"at {max_inflight} in-flight"
+            )
+        return "\n".join(lines)
+
+
+def _query_fingerprint(query: Query):
+    """Hashable identity of a query for single-flight deduplication."""
+    if isinstance(query, VectorQuery):
+        return (
+            "vector",
+            query.vector.tobytes(),
+            query.nprobe,
+            query.refine,
+        )
+    return (type(query).__name__, repr(query))
+
+
+class SearchServer:
+    """Serves concurrent queries over one indexed lake column set."""
+
+    def __init__(
+        self,
+        client: RottnestClient,
+        *,
+        max_searchers: int = 4,
+        max_inflight: int = 8,
+        shed_on_overload: bool = False,
+        latency_model: LatencyModel | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServeError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.client = client
+        self.executor = SearchExecutor(client, max_searchers=max_searchers)
+        self.max_inflight = max_inflight
+        self.shed_on_overload = shed_on_overload
+        self.latency_model = latency_model or LatencyModel()
+        self.stats = ServeStats(cache=self._find_cache_stats(client.store))
+        self._admission = threading.BoundedSemaphore(max_inflight)
+        self._flights = SingleFlight()
+        self._stats_lock = threading.Lock()
+
+    @classmethod
+    def for_lake(
+        cls,
+        store: ObjectStore,
+        index_dir: str,
+        lake_root: str,
+        *,
+        cache_budget_bytes: int | None = None,
+        **kwargs,
+    ) -> "SearchServer":
+        """Assemble the full serving stack over a raw store: wrap it in
+        a :class:`CachingObjectStore`, re-open the lake and client
+        through the cache, and build the server on top."""
+        cached = CachingObjectStore(
+            store,
+            **(
+                {"budget_bytes": cache_budget_bytes}
+                if cache_budget_bytes is not None
+                else {}
+            ),
+        )
+        lake = LakeTable.open(cached, lake_root)
+        client = RottnestClient(cached, index_dir, lake)
+        return cls(client, **kwargs)
+
+    @staticmethod
+    def _find_cache_stats(store: ObjectStore) -> CacheStats | None:
+        """Walk a wrapper chain (retry/cache/faults) to the cache, if
+        one is stacked anywhere in it."""
+        seen = 0
+        while store is not None and seen < 8:
+            if isinstance(store, CachingObjectStore):
+                return store.cache_stats
+            store = getattr(store, "inner", None)
+            seen += 1
+        return None
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self) -> "SearchServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serving -------------------------------------------------------
+    def warmup(self) -> int:
+        """Pre-load the hot read path into the cache.
+
+        Reads the metadata-table state, then every index file's tail,
+        page directory, and — for componentized tries — the root lookup
+        table. Returns the number of index files warmed. Without a
+        caching store this still works; it just warms nothing.
+        """
+        warmed = 0
+        for record in self.client.meta.records():
+            reader = IndexFileReader.open(self.client.store, record.index_key)
+            reader.directory  # page directory (component 0)
+            if reader.has_component("lut"):
+                reader.component("lut")  # trie root levels
+            warmed += 1
+        return warmed
+
+    def query(
+        self,
+        column: str,
+        query: Query,
+        *,
+        k: int = 10,
+        snapshot: Snapshot | None = None,
+        partition: str | None = None,
+    ) -> SearchResult:
+        """Admission-controlled, deduplicated search.
+
+        Identical queries in flight at the same moment share one
+        execution (both callers get the same :class:`SearchResult`).
+        With ``shed_on_overload`` the call raises
+        :class:`~repro.errors.ServerOverloaded` instead of queueing when
+        ``max_inflight`` queries are already running.
+        """
+        if self.shed_on_overload:
+            admitted = self._admission.acquire(blocking=False)
+            if not admitted:
+                with self._stats_lock:
+                    self.stats.rejected += 1
+                raise ServerOverloaded(
+                    f"{self.max_inflight} queries already in flight"
+                )
+        else:
+            self._admission.acquire()
+        try:
+            flight_key = (
+                column,
+                _query_fingerprint(query),
+                k,
+                snapshot.version if snapshot is not None else None,
+                partition,
+            )
+            def execute() -> SearchResult:
+                return self.executor.search(
+                    column,
+                    query,
+                    k=k,
+                    snapshot=snapshot,
+                    partition=partition,
+                )
+
+            result, shared = self._flights.do_detailed(flight_key, execute)
+            with self._stats_lock:
+                self.stats.queries += 1
+                if shared:
+                    self.stats.deduplicated += 1
+                self.stats.total_requests += result.stats.trace.total_requests
+                self.stats.latencies_s.append(
+                    result.stats.estimated_latency(self.latency_model)
+                )
+            return result
+        finally:
+            self._admission.release()

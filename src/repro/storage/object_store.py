@@ -47,17 +47,30 @@ class ObjectStore(ABC):
     def __init__(self, clock: Clock | None = None) -> None:
         self.clock: Clock = clock if clock is not None else SimClock()
         self.stats = IOStats()
-        self._trace: RequestTrace | None = None
+        self._trace_tls = threading.local()
         self._lock = threading.RLock()
 
     # -- tracing -----------------------------------------------------
+    # Traces are *per thread*: each worker of the serve executor records
+    # its own dependency structure, and the executor merges the worker
+    # traces with ``merge_parallel`` — concurrent searches through one
+    # store never interleave their rounds.
+    @property
+    def _trace(self) -> RequestTrace | None:
+        return getattr(self._trace_tls, "trace", None)
+
+    @_trace.setter
+    def _trace(self, value: RequestTrace | None) -> None:
+        self._trace_tls.trace = value
+
     def start_trace(self) -> RequestTrace:
-        """Begin recording a dependency trace; returns the live trace."""
+        """Begin recording a dependency trace on the calling thread;
+        returns the live trace."""
         self._trace = RequestTrace()
         return self._trace
 
     def stop_trace(self) -> RequestTrace:
-        """Stop recording and return the finished trace."""
+        """Stop recording on the calling thread; returns the trace."""
         if self._trace is None:
             raise RuntimeError("no trace in progress")
         trace, self._trace = self._trace, None
@@ -65,14 +78,16 @@ class ObjectStore(ABC):
 
     def barrier(self) -> None:
         """Mark a dependency point in the current trace (no-op if none)."""
-        if self._trace is not None:
-            self._trace.barrier()
+        trace = self._trace
+        if trace is not None:
+            trace.barrier()
 
     def _record(self, op: str, key: str, nbytes: int) -> None:
         request = Request(op=op, key=key, nbytes=nbytes)
         self.stats.record(request)
-        if self._trace is not None:
-            self._trace.record(request)
+        trace = self._trace
+        if trace is not None:
+            trace.record(request)
 
     # -- operations ---------------------------------------------------
     @abstractmethod

@@ -9,11 +9,19 @@ landed, and retrying would misreport a success as
 :class:`~repro.errors.PreconditionFailed`; the transaction layers
 already handle that by re-reading.
 
-Backoff waits advance the store's clock, so tests with a
-:class:`~repro.util.clock.SimClock` stay instant and deterministic.
+Backoff delays use *decorrelated jitter* (the AWS architecture-blog
+scheme): each wait is drawn uniformly from ``[base, 3 * previous]`` and
+capped at ``max_backoff_s``. Without jitter, clients that fail together
+retry together and re-overload the store in synchronized waves — the
+serve executor runs many concurrent searchers, so this matters. The
+jitter comes from a seeded RNG and the waits advance the store's clock,
+so tests with a :class:`~repro.util.clock.SimClock` stay instant and
+deterministic.
 """
 
 from __future__ import annotations
+
+import random
 
 from repro.errors import (
     InvalidByteRange,
@@ -38,18 +46,30 @@ class RetryingObjectStore(ObjectStore):
         *,
         max_attempts: int = 4,
         base_backoff_s: float = 0.1,
+        max_backoff_s: float = 10.0,
+        jitter_seed: int | None = 0,
     ) -> None:
         super().__init__(inner.clock)
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if max_backoff_s < base_backoff_s:
+            raise ValueError("max_backoff_s must be >= base_backoff_s")
         self.inner = inner
         self.max_attempts = max_attempts
         self.base_backoff_s = base_backoff_s
+        self.max_backoff_s = max_backoff_s
+        self._rng = random.Random(jitter_seed)
         self.stats = inner.stats
         self.retries = 0
 
-    def _backoff(self, attempt: int) -> None:
-        delay = self.base_backoff_s * (2**attempt)
+    def _next_delay(self, previous: float) -> float:
+        """Decorrelated jitter: uniform in ``[base, 3 * previous]``,
+        capped at ``max_backoff_s``; always strictly positive."""
+        high = max(self.base_backoff_s, 3.0 * previous)
+        delay = self._rng.uniform(self.base_backoff_s, high)
+        return min(self.max_backoff_s, delay)
+
+    def _backoff(self, delay: float) -> None:
         if isinstance(self.clock, SimClock):
             self.clock.advance(delay)
         else:  # pragma: no cover - wall-clock path
@@ -59,6 +79,7 @@ class RetryingObjectStore(ObjectStore):
 
     def _retrying(self, operation, *args, **kwargs):
         last: Exception | None = None
+        delay = self.base_backoff_s
         for attempt in range(self.max_attempts):
             try:
                 return operation(*args, **kwargs)
@@ -68,7 +89,8 @@ class RetryingObjectStore(ObjectStore):
                 last = exc
                 self.retries += 1
                 if attempt + 1 < self.max_attempts:
-                    self._backoff(attempt)
+                    delay = self._next_delay(delay)
+                    self._backoff(delay)
         raise last  # type: ignore[misc]
 
     # -- operations ---------------------------------------------------

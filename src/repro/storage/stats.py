@@ -13,6 +13,7 @@ Every store operation is recorded twice:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 
@@ -27,7 +28,11 @@ class Request:
 
 @dataclass
 class IOStats:
-    """Cumulative operation counters for one store instance."""
+    """Cumulative operation counters for one store instance.
+
+    Counter updates are guarded by a lock so concurrent searchers (the
+    ``repro.serve`` executor) do not lose increments.
+    """
 
     gets: int = 0
     puts: int = 0
@@ -37,33 +42,38 @@ class IOStats:
     bytes_read: int = 0
     bytes_written: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record(self, request: Request) -> None:
-        if request.op == "GET":
-            self.gets += 1
-            self.bytes_read += request.nbytes
-        elif request.op == "PUT":
-            self.puts += 1
-            self.bytes_written += request.nbytes
-        elif request.op == "LIST":
-            self.lists += 1
-        elif request.op == "DELETE":
-            self.deletes += 1
-        elif request.op == "HEAD":
-            self.heads += 1
-        else:
-            raise ValueError(f"unknown op {request.op!r}")
+        with self._lock:
+            if request.op == "GET":
+                self.gets += 1
+                self.bytes_read += request.nbytes
+            elif request.op == "PUT":
+                self.puts += 1
+                self.bytes_written += request.nbytes
+            elif request.op == "LIST":
+                self.lists += 1
+            elif request.op == "DELETE":
+                self.deletes += 1
+            elif request.op == "HEAD":
+                self.heads += 1
+            else:
+                raise ValueError(f"unknown op {request.op!r}")
 
     def snapshot(self) -> "IOStats":
         """Copy of the current counters (for before/after deltas)."""
-        return IOStats(
-            gets=self.gets,
-            puts=self.puts,
-            lists=self.lists,
-            deletes=self.deletes,
-            heads=self.heads,
-            bytes_read=self.bytes_read,
-            bytes_written=self.bytes_written,
-        )
+        with self._lock:
+            return IOStats(
+                gets=self.gets,
+                puts=self.puts,
+                lists=self.lists,
+                deletes=self.deletes,
+                heads=self.heads,
+                bytes_read=self.bytes_read,
+                bytes_written=self.bytes_written,
+            )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
         """Counters accumulated since ``earlier`` was snapshotted."""
@@ -85,18 +95,26 @@ class RequestTrace:
     round ``i + 1`` depends on the results of round ``i``. Code under a
     trace calls :meth:`barrier` whenever its next request needs data from
     a previous one — e.g. descending one componentized trie level.
+
+    :meth:`record` and :meth:`barrier` are thread-safe so a trace can be
+    fed from the serve executor's worker pool; the usual pattern is
+    still one trace per worker thread, merged with
+    :meth:`merge_parallel` afterwards.
     """
 
     def __init__(self) -> None:
         self.rounds: list[list[Request]] = [[]]
+        self._lock = threading.Lock()
 
     def record(self, request: Request) -> None:
-        self.rounds[-1].append(request)
+        with self._lock:
+            self.rounds[-1].append(request)
 
     def barrier(self) -> None:
         """Start a new dependent round (no-op if the round is empty)."""
-        if self.rounds[-1]:
-            self.rounds.append([])
+        with self._lock:
+            if self.rounds[-1]:
+                self.rounds.append([])
 
     @property
     def depth(self) -> int:

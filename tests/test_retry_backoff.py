@@ -1,0 +1,105 @@
+"""Decorrelated-jitter backoff in RetryingObjectStore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InjectedFault
+from repro.storage.faults import FaultyObjectStore
+from repro.storage.object_store import InMemoryObjectStore
+from repro.storage.retry import RetryingObjectStore
+from repro.util.clock import SimClock
+
+
+def _stack(**retry_kwargs):
+    inner = InMemoryObjectStore(clock=SimClock(start=0.0))
+    faulty = FaultyObjectStore(inner)
+    retrying = RetryingObjectStore(faulty, **retry_kwargs)
+    inner.put("k", b"v")
+    return inner, faulty, retrying
+
+
+def _run_with_failures(retrying, faulty, failures: int) -> float:
+    """Inject ``failures`` transient GET faults, fetch once, and return
+    the total simulated backoff time."""
+    start = retrying.clock.now()
+    for _ in range(failures):
+        faulty.fail_next("GET")
+    assert retrying.get("k") == b"v"
+    return retrying.clock.now() - start
+
+
+def test_deterministic_under_seeded_rng():
+    """Identical seeds + identical failure scripts → identical waits,
+    so SimClock tests of retry behavior are reproducible."""
+    waits = []
+    for _ in range(2):
+        _, faulty, retrying = _stack(max_attempts=5, jitter_seed=42)
+        waits.append(_run_with_failures(retrying, faulty, 3))
+    assert waits[0] == waits[1]
+    assert waits[0] > 0
+    # A different seed draws a different schedule.
+    _, faulty, retrying = _stack(max_attempts=5, jitter_seed=43)
+    assert _run_with_failures(retrying, faulty, 3) != waits[0]
+
+
+def test_delays_bounded_by_base_and_cap():
+    """Every wait lies in [base, max_backoff]; the decorrelated-jitter
+    growth is clamped by the cap however many times we retry."""
+    base, cap, failures = 0.5, 2.0, 7
+    _, faulty, retrying = _stack(
+        max_attempts=failures + 1,
+        base_backoff_s=base,
+        max_backoff_s=cap,
+        jitter_seed=7,
+    )
+    total = _run_with_failures(retrying, faulty, failures)
+    assert retrying.retries == failures
+    assert base * failures <= total <= cap * failures
+
+
+def test_cap_actually_binds():
+    """Without the cap, decorrelated jitter grows ~3x per retry; with a
+    tight cap the total stays linear in the retry count."""
+    _, faulty, uncapped = _stack(
+        max_attempts=8, base_backoff_s=1.0, max_backoff_s=1e9, jitter_seed=1
+    )
+    grew = _run_with_failures(uncapped, faulty, 7)
+    _, faulty2, capped = _stack(
+        max_attempts=8, base_backoff_s=1.0, max_backoff_s=1.5, jitter_seed=1
+    )
+    clamped = _run_with_failures(capped, faulty2, 7)
+    assert clamped <= 1.5 * 7
+    assert grew > clamped  # the cap made a real difference
+
+
+def test_jitter_decorrelates_two_clients():
+    """Two clients failing in lockstep back off on different schedules —
+    the point of jitter (no synchronized retry waves)."""
+    _, faulty_a, a = _stack(max_attempts=5, jitter_seed=1)
+    _, faulty_b, b = _stack(max_attempts=5, jitter_seed=2)
+    assert _run_with_failures(a, faulty_a, 3) != _run_with_failures(
+        b, faulty_b, 3
+    )
+
+
+def test_no_backoff_after_final_attempt():
+    """When attempts are exhausted the error surfaces immediately; no
+    pointless final sleep."""
+    _, faulty, retrying = _stack(
+        max_attempts=3, base_backoff_s=1.0, max_backoff_s=10.0, jitter_seed=0
+    )
+    start = retrying.clock.now()
+    for _ in range(3):
+        faulty.fail_next("GET")
+    with pytest.raises(InjectedFault):
+        retrying.get("k")
+    waited = retrying.clock.now() - start
+    # 3 attempts → only 2 sleeps, each at most the cap.
+    assert waited <= 2 * 10.0
+
+
+def test_validates_cap_against_base():
+    inner = InMemoryObjectStore(clock=SimClock())
+    with pytest.raises(ValueError):
+        RetryingObjectStore(inner, base_backoff_s=5.0, max_backoff_s=1.0)

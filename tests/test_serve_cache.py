@@ -1,0 +1,238 @@
+"""CachingObjectStore: transparency, eviction, admission, dedup."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidByteRange, ObjectNotFound, PreconditionFailed
+from repro.serve.cache import CachingObjectStore
+from repro.storage.object_store import InMemoryObjectStore
+from repro.storage.retry import RetryingObjectStore
+from repro.util.clock import SimClock
+
+
+def _fresh_pair(**cache_kwargs):
+    inner = InMemoryObjectStore(clock=SimClock(start=1_000.0))
+    return inner, CachingObjectStore(inner, **cache_kwargs)
+
+
+# -- transparency: the hypothesis property test -----------------------
+
+_KEYS = st.sampled_from(["a", "ab", "b/x", "b/y"])
+_DATA = st.binary(min_size=0, max_size=12)
+_RANGES = st.one_of(
+    st.none(),
+    st.tuples(st.integers(-1, 14), st.integers(-1, 14)),
+)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), _KEYS, _DATA),
+        st.tuples(st.just("put_cond"), _KEYS, _DATA),
+        st.tuples(st.just("get"), _KEYS, _RANGES),
+        st.tuples(st.just("delete"), _KEYS),
+        st.tuples(st.just("head"), _KEYS),
+        st.tuples(st.just("list"), st.sampled_from(["", "a", "b/", "zz"])),
+        st.tuples(st.just("clear")),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _apply(store, op):
+    """Run one op, returning ('ok', value) or ('err', exception type)."""
+    try:
+        if op[0] == "put":
+            info = store.put(op[1], op[2])
+            return ("ok", (info.key, info.size))
+        if op[0] == "put_cond":
+            info = store.put(op[1], op[2], if_none_match=True)
+            return ("ok", (info.key, info.size))
+        if op[0] == "get":
+            return ("ok", store.get(op[1], op[2]))
+        if op[0] == "delete":
+            return ("ok", store.delete(op[1]))
+        if op[0] == "head":
+            info = store.head(op[1])
+            return ("ok", (info.key, info.size))
+        if op[0] == "list":
+            return ("ok", [(i.key, i.size) for i in store.list(op[1])])
+        raise AssertionError(op)
+    except (ObjectNotFound, InvalidByteRange, PreconditionFailed) as exc:
+        return ("err", type(exc))
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_OPS)
+def test_cache_is_transparent(ops):
+    """Any op sequence through the cache returns byte-identical results
+    to the bare store — including after put-overwrite and delete."""
+    reference = InMemoryObjectStore(clock=SimClock(start=1_000.0))
+    _, cached = _fresh_pair(budget_bytes=64, max_entry_bytes=32)
+    for op in ops:
+        if op[0] == "clear":
+            cached.clear()  # wrapper-only op; reference unaffected
+            continue
+        assert _apply(cached, op) == _apply(reference, op), op
+
+
+def test_put_overwrite_invalidates():
+    inner, cached = _fresh_pair()
+    cached.put("k", b"old-value")
+    assert cached.get("k") == b"old-value"
+    cached.put("k", b"new")
+    assert cached.get("k") == b"new"
+    assert cached.get("k", (0, 3)) == b"new"
+    assert cached.cache_stats.invalidations >= 1
+
+
+def test_delete_invalidates():
+    inner, cached = _fresh_pair()
+    cached.put("k", b"v")
+    cached.get("k")
+    cached.delete("k")
+    with pytest.raises(ObjectNotFound):
+        cached.get("k")
+
+
+def test_writes_behind_the_cache_can_go_stale():
+    """The transparency contract requires writes through the wrapper;
+    this documents (not endorses) what happens otherwise."""
+    inner, cached = _fresh_pair()
+    inner.put("k", b"v1")
+    assert cached.get("k") == b"v1"
+    inner.put("k", b"v2")  # behind the cache's back
+    assert cached.get("k") == b"v1"  # stale, by design
+    cached.invalidate("k")
+    assert cached.get("k") == b"v2"
+
+
+# -- LRU budget + admission ------------------------------------------
+
+
+def test_lru_eviction_respects_budget():
+    inner, cached = _fresh_pair(budget_bytes=100, max_entry_bytes=100)
+    for key in ("k1", "k2", "k3"):
+        inner.put(key, b"x" * 40)
+    cached.get("k1")
+    cached.get("k2")
+    assert cached.cached_bytes == 80
+    cached.get("k3")  # 120 > 100: evict the LRU entry (k1)
+    assert cached.cached_bytes == 80
+    assert cached.cache_stats.evictions == 1
+    before = inner.stats.snapshot()
+    cached.get("k2")  # still cached
+    cached.get("k3")  # still cached
+    assert inner.stats.delta(before).gets == 0
+    cached.get("k1")  # evicted: goes to the inner store again
+    assert inner.stats.delta(before).gets == 1
+
+
+def test_oversize_entries_served_but_not_admitted():
+    inner, cached = _fresh_pair(budget_bytes=1000, max_entry_bytes=10)
+    inner.put("big", b"x" * 50)
+    assert cached.get("big") == b"x" * 50
+    assert cached.cached_bytes == 0
+    assert cached.cache_stats.rejected == 1
+    before = inner.stats.snapshot()
+    assert cached.get("big") == b"x" * 50  # miss again, by design
+    assert inner.stats.delta(before).gets == 1
+
+
+def test_whole_object_serves_byte_ranges():
+    inner, cached = _fresh_pair()
+    inner.put("k", b"0123456789")
+    cached.get("k")  # caches the whole object
+    before = inner.stats.snapshot()
+    assert cached.get("k", (2, 3)) == b"234"
+    assert cached.get("k", (0, 10)) == b"0123456789"
+    assert inner.stats.delta(before).gets == 0  # both served from cache
+    with pytest.raises(InvalidByteRange):
+        cached.get("k", (5, 99))  # out of bounds still errors
+
+
+def test_metadata_caching_and_prefix_invalidation():
+    inner, cached = _fresh_pair()
+    inner.put("b/x", b"1")
+    inner.put("b/y", b"22")
+    assert [i.key for i in cached.list("b/")] == ["b/x", "b/y"]
+    cached.head("b/x")
+    before = inner.stats.snapshot()
+    cached.list("b/")
+    cached.head("b/x")
+    delta = inner.stats.delta(before)
+    assert delta.lists == 0 and delta.heads == 0  # cached
+    cached.put("b/z", b"333")  # covered by the "b/" prefix
+    assert [i.key for i in cached.list("b/")] == ["b/x", "b/y", "b/z"]
+
+
+def test_hit_miss_counters():
+    inner, cached = _fresh_pair()
+    inner.put("k", b"v")
+    cached.get("k")
+    cached.get("k")
+    cached.get("k")
+    assert cached.cache_stats.misses == 1
+    assert cached.cache_stats.hits == 2
+    assert cached.cache_stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_budget_validation():
+    inner = InMemoryObjectStore(clock=SimClock())
+    with pytest.raises(ValueError):
+        CachingObjectStore(inner, budget_bytes=0)
+
+
+# -- single-flight misses --------------------------------------------
+
+
+class _GatedStore(InMemoryObjectStore):
+    """GETs block until released, so concurrent misses pile up."""
+
+    def __init__(self):
+        super().__init__(clock=SimClock())
+        self.gate = threading.Event()
+        self.get_started = threading.Event()
+
+    def get(self, key, byte_range=None):
+        self.get_started.set()
+        assert self.gate.wait(timeout=5)
+        return super().get(key, byte_range)
+
+
+def test_concurrent_identical_gets_share_one_fetch():
+    inner = _GatedStore()
+    cached = CachingObjectStore(inner)
+    inner._objects["k"] = (b"v", 0.0)  # seed without a billed PUT
+    results = []
+
+    def reader():
+        results.append(cached.get("k"))
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    assert inner.get_started.wait(timeout=5)
+    inner.gate.set()
+    for t in threads:
+        t.join(timeout=5)
+    assert results == [b"v"] * 4
+    assert inner.stats.gets == 1  # one flight served all four callers
+    assert cached._flights.shared == 3
+
+
+def test_stacks_with_retrying_store():
+    """The cache implements the same ABC as RetryingObjectStore, so the
+    two wrappers compose in either order."""
+    inner = InMemoryObjectStore(clock=SimClock())
+    stack = CachingObjectStore(RetryingObjectStore(inner))
+    stack.put("k", b"v")
+    assert stack.get("k") == b"v"
+    assert inner.get("k") == b"v"
+    other = RetryingObjectStore(CachingObjectStore(inner))
+    assert other.get("k") == b"v"

@@ -1,0 +1,166 @@
+"""SearchExecutor: concurrent results identical to sequential search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.queries import SubstringQuery, UuidQuery, VectorQuery
+from repro.errors import RottnestIndexError
+from repro.serve import SearchExecutor
+
+from tests.conftest import event_batch, event_uuid
+
+
+def _shape(result):
+    """Everything a caller can observe, minus the request trace."""
+    return (
+        [(m.file, m.row, m.score) for m in result.matches],
+        result.stats.index_files_queried,
+        result.stats.candidates,
+        result.stats.pages_probed,
+        result.stats.false_positives,
+        result.stats.files_brute_forced,
+    )
+
+
+WORKLOAD_QUERIES = [
+    ("uuid", UuidQuery(event_uuid(1, 5))),
+    ("uuid", UuidQuery(event_uuid(2, 123))),
+    ("uuid", UuidQuery(b"\x00" * 16)),  # absent
+    ("text", SubstringQuery(event_batch(300, seed=1)["text"][10][:8])),
+    ("text", SubstringQuery("no-such-substring-anywhere")),
+    (
+        "emb",
+        VectorQuery(
+            np.random.default_rng(0).normal(size=16).astype(np.float32),
+            nprobe=8,
+            refine=64,
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("width", [1, 3, 8])
+def test_matches_sequential_search(indexed_client, width):
+    """Across the UUID, substring, and vector workloads the executor's
+    matches and counters equal ``RottnestClient.search`` exactly."""
+    with SearchExecutor(indexed_client, max_searchers=width) as executor:
+        for column, query in WORKLOAD_QUERIES:
+            sequential = indexed_client.search(column, query, k=5)
+            concurrent = executor.search(column, query, k=5)
+            assert _shape(concurrent) == _shape(sequential), (column, query)
+            # Same requests are issued regardless of fan-out width; only
+            # the trace's parallel structure (and thus latency) changes.
+            assert (
+                concurrent.stats.trace.total_requests
+                == sequential.stats.trace.total_requests
+            )
+
+
+def test_brute_force_path_equivalent(indexed_client):
+    """An appended-but-unindexed file exercises the brute-force fill."""
+    indexed_client.lake.append(event_batch(300, seed=3))
+    queries = [
+        ("uuid", UuidQuery(event_uuid(3, 7))),  # only in the new file
+        ("uuid", UuidQuery(event_uuid(1, 5))),  # covered by the index
+        ("text", SubstringQuery(event_batch(300, seed=3)["text"][0][:10])),
+        (
+            "emb",
+            VectorQuery(
+                event_batch(300, seed=3)["emb"][4], nprobe=8, refine=64
+            ),
+        ),
+    ]
+    with SearchExecutor(indexed_client, max_searchers=4) as executor:
+        for column, query in queries:
+            sequential = indexed_client.search(column, query, k=5)
+            concurrent = executor.search(column, query, k=5)
+            assert _shape(concurrent) == _shape(sequential), (column, query)
+    # Sanity: the unindexed-key query really used the brute-force path.
+    result = indexed_client.search("uuid", UuidQuery(event_uuid(3, 7)), k=5)
+    assert result.stats.files_brute_forced > 0
+    assert len(result.matches) == 1
+
+
+def test_snapshot_and_partition_arguments(indexed_client):
+    """Executor honors the same snapshot/partition plumbing."""
+    old = indexed_client.lake.snapshot()
+    indexed_client.lake.append(event_batch(300, seed=4))
+    query = UuidQuery(event_uuid(4, 1))
+    with SearchExecutor(indexed_client, max_searchers=2) as executor:
+        assert executor.search("uuid", query, k=3, snapshot=old).matches == []
+        fresh = executor.search("uuid", query, k=3)
+        assert len(fresh.matches) == 1
+        sequential = indexed_client.search("uuid", query, k=3)
+        assert _shape(fresh) == _shape(sequential)
+
+
+def test_wider_pool_never_slower(indexed_client):
+    """Modeled latency is non-increasing in ``max_searchers``."""
+    from repro.storage.latency import LatencyModel
+
+    lat = LatencyModel()
+    query = UuidQuery(event_uuid(1, 5))
+    latencies = []
+    for width in (1, 2, 4):
+        with SearchExecutor(indexed_client, max_searchers=width) as executor:
+            result = executor.search("uuid", query, k=5)
+        latencies.append(result.stats.estimated_latency(lat))
+    assert latencies[1] <= latencies[0] * 1.001
+    assert latencies[2] <= latencies[1] * 1.001
+
+
+def test_traces_are_per_thread(store):
+    """Concurrent workers each record into their own RequestTrace; the
+    caller's trace is untouched by other threads' requests."""
+    import threading
+
+    store.put("main", b"m")
+    store.put("worker", b"w")
+    store.start_trace()
+    store.get("main")
+    seen = {}
+
+    def worker():
+        store.start_trace()  # this thread's own trace
+        store.get("worker")
+        store.get("worker")
+        seen["trace"] = store.stop_trace()
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join(timeout=5)
+    main_trace = store.stop_trace()
+    assert main_trace.total_requests == 1  # worker's GETs not mixed in
+    assert seen["trace"].total_requests == 2
+    # Cumulative IOStats counters still see every thread's requests.
+    assert store.stats.gets == 3
+
+
+def test_concurrent_iostats_increments_not_lost(store):
+    """IOStats.record is lock-guarded: hammering from many threads
+    loses no increments."""
+    import threading
+
+    store.put("k", b"v")
+    n_threads, n_gets = 8, 50
+
+    def hammer():
+        for _ in range(n_gets):
+            store.get("k")
+
+    threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert store.stats.gets == n_threads * n_gets
+
+
+def test_invalid_arguments(indexed_client):
+    with pytest.raises(RottnestIndexError):
+        SearchExecutor(indexed_client, max_searchers=0)
+    with SearchExecutor(indexed_client) as executor:
+        with pytest.raises(RottnestIndexError):
+            executor.search("uuid", UuidQuery(b"\x00" * 16), k=0)
