@@ -17,7 +17,6 @@ Run at paper-scale structure sizes through the latency model, with the
 micro-scale measured traces shown for reference.
 """
 
-import pytest
 
 from repro.core.queries import SubstringQuery, UuidQuery
 from repro.storage.latency import LatencyModel

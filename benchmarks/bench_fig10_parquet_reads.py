@@ -10,7 +10,6 @@
   wall-clock decode time via pytest-benchmark.
 """
 
-import numpy as np
 import pytest
 
 from repro.formats.page_reader import build_page_table, read_page

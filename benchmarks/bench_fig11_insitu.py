@@ -22,7 +22,6 @@ import pytest
 
 from repro.core.queries import UuidQuery
 from repro.engines.dedicated import lance_cold_latency
-from repro.formats.reader import ParquetFile
 from repro.storage.latency import LatencyModel
 from repro.tco.phase import compute_phase_diagram
 from repro.tco.render import render
@@ -32,7 +31,6 @@ from benchmarks.common import (
     PAPER_UUID_BYTES,
     approaches_for,
     build_uuid_scenario,
-    mean_search_latency,
     write_result,
 )
 

@@ -11,7 +11,6 @@
   vs brute force on 64 workers (paper: 4.3x / 4.3x / 5.4x faster).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.queries import SubstringQuery, UuidQuery, VectorQuery

@@ -10,7 +10,6 @@ than asserted.
 
 import time
 
-import pytest
 
 from repro.core.client import RottnestClient
 from repro.formats.schema import ColumnType, Field, Schema

@@ -9,7 +9,6 @@ S3 request costs to confirm they are "eclipsed by compute resource
 costs" (§VI footnote on ``ic_r``).
 """
 
-import pytest
 
 from repro.core.client import RottnestClient
 from repro.core.maintenance import compact_indices, vacuum_indices

@@ -36,6 +36,7 @@ from repro.workloads.uuids import UuidWorkload
 from benchmarks.common import (
     SEARCHER_INSTANCE,
     build_uuid_scenario,
+    write_bench,
     write_result,
 )
 
@@ -83,6 +84,17 @@ def test_cold_vs_warm_repeated_query(uuid_scenario, benchmark):
         text = "\n".join(lines)
         print(text)
         write_result("serving_cold_warm.txt", text)
+        write_bench(
+            "serving",
+            "cold_vs_warm",
+            params={"max_searchers": 4, "warm_repeats": 5},
+            metrics={
+                "cold_modeled_ms": cold * 1000,
+                "warm_worst_modeled_ms": max(warm_latencies) * 1000,
+                "cache_hit_rate": stats.cache_hit_rate,
+                "requests_per_query": stats.requests_per_query,
+            },
+        )
         # Acceptance: warm strictly below cold, nonzero hit rate,
         # identical results.
         assert max(warm_latencies) < cold
@@ -142,6 +154,21 @@ def test_executor_scaling_fig8cd_shape(benchmark):
     text = "\n".join(lines)
     print(text)
     write_result("serving_scaling.txt", text)
+    write_bench(
+        "serving",
+        "executor_scaling",
+        params={"files": 3, "widths": list(widths)},
+        metrics={
+            **{
+                f"latency_ms_{width}_searchers": latency * 1000
+                for width, latency, _ in rows
+            },
+            **{
+                f"cost_usd_{width}_searchers": cost
+                for width, _, cost in rows
+            },
+        },
+    )
     latencies = {w: l for w, l, _ in rows}
     costs = {w: c for w, _, c in rows}
     # More searchers never hurt latency...
@@ -197,6 +224,19 @@ def test_concurrent_clients(uuid_scenario, benchmark):
         text = "\n".join(lines)
         print(text)
         write_result("serving_concurrent.txt", text)
+        write_bench(
+            "serving",
+            "concurrent_clients",
+            params={"clients": 6, "repeats": 3, "max_inflight": 8},
+            metrics={
+                "queries": stats.queries,
+                "deduplicated": stats.deduplicated,
+                "cache_hit_rate": stats.cache_hit_rate,
+                "p50_modeled_ms": stats.p50_s * 1000,
+                "p99_modeled_ms": stats.p99_s * 1000,
+                "qps_ceiling": stats.qps_estimate(server.max_inflight),
+            },
+        )
         assert len(results) == 6
         # Every client sees the same answer for the same key.
         reference = {}

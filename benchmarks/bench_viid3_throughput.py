@@ -9,7 +9,6 @@ the binding constraint (paper: "10 QPS = 2.52x10^7 total queries at 10
 months", past the boundary).
 """
 
-import pytest
 
 from repro.core.queries import SubstringQuery, UuidQuery, VectorQuery
 from repro.engines.dedicated import LANCEDB_MODEL, OPENSEARCH_MODEL

@@ -23,7 +23,8 @@ import numpy as np
 
 from repro.core.client import RottnestClient, SearchResult
 from repro.engines.bruteforce import BruteForceModel
-from repro.engines.dedicated import LANCEDB_MODEL, OPENSEARCH_MODEL
+from repro.obs.export import update_bench_json
+from repro.engines.dedicated import OPENSEARCH_MODEL
 from repro.formats.schema import ColumnType, Field, Schema
 from repro.lake.table import LakeTable, TableConfig
 from repro.storage.costs import GB, CostModel
@@ -79,6 +80,28 @@ def results_path(name: str) -> str:
 def write_result(name: str, text: str) -> None:
     with open(results_path(name), "w") as f:
         f.write(text if text.endswith("\n") else text + "\n")
+
+
+def write_bench(
+    bench: str,
+    measurement: str,
+    *,
+    metrics: dict,
+    params: dict | None = None,
+) -> dict:
+    """Merge one measurement into ``results/BENCH_<bench>.json``.
+
+    Machine-readable companion to :func:`write_result`: successive PRs
+    diff these files to track the perf trajectory (schema in
+    :mod:`repro.obs.export`).
+    """
+    return update_bench_json(
+        results_path(f"BENCH_{bench}.json"),
+        bench,
+        measurement,
+        metrics=metrics,
+        params=params,
+    )
 
 
 @dataclass

@@ -249,6 +249,67 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """One search, traced end to end: timeline, bill, reconciliation."""
+    from repro.obs import (
+        Tracer,
+        attribute,
+        price_iostats,
+        render_timeline,
+        use_tracer,
+        write_spans_jsonl,
+    )
+    from repro.storage.costs import CostModel
+    from repro.storage.latency import LatencyModel
+
+    store, lake = _open(args)
+    client = RottnestClient(store, args.index_dir, lake)
+    query = _build_query(args)
+    tracer = Tracer()  # wall-clock spans; modeled time comes from the bill
+    before = store.stats.snapshot()
+    with use_tracer(tracer):
+        if args.max_searchers > 0:
+            from repro.serve.executor import SearchExecutor
+
+            with SearchExecutor(
+                client, max_searchers=args.max_searchers
+            ) as executor:
+                result = executor.search(
+                    args.column, query, k=args.k, partition=args.partition
+                )
+        else:
+            result = client.search(
+                args.column, query, k=args.k, partition=args.partition
+            )
+    delta = store.stats.snapshot().delta(before)
+
+    root = tracer.last_root("search")
+    if root is None:
+        raise ReproError("search finished but recorded no span tree")
+    costs = CostModel()
+    bill = attribute(
+        root,
+        latency=LatencyModel(),
+        costs=costs,
+        instance_type=args.instance,
+    )
+    print(render_timeline(root))
+    print()
+    print(bill.describe(costs))
+    billed = bill.total_request_cost_usd(costs)
+    reference = price_iostats(delta, costs)
+    verdict = "exact" if billed == reference else "MISMATCH"
+    print(
+        f"reconciliation: bill ${billed:.3e} vs IOStats delta "
+        f"${reference:.3e} [{verdict}]"
+    )
+    print(f"# {len(result.matches)} match(es)", file=sys.stderr)
+    if args.spans:
+        write_spans_jsonl(args.spans, [root])
+        print(f"# spans written to {args.spans}", file=sys.stderr)
+    return 0 if verdict == "exact" else 2
+
+
 def cmd_compact(args) -> int:
     store, lake = _open(args)
     client = RottnestClient(store, args.index_dir, lake)
@@ -384,6 +445,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-load metadata and index roots before the cold query",
     )
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "profile",
+        help="trace one search and print its attributed cost/latency bill",
+    )
+    common(p, index_dir_required=True)
+    p.add_argument("--column", required=True)
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--uuid", help="hex key")
+    p.add_argument("--substring")
+    p.add_argument("--regex")
+    p.add_argument("--vector", help="JSON array of floats")
+    p.add_argument(
+        "--range", nargs=2, metavar=("LO", "HI"),
+        help="inclusive range, JSON values",
+    )
+    p.add_argument("--nprobe", type=int, default=8)
+    p.add_argument("--refine", type=int, default=100)
+    p.add_argument("--partition", help="restrict to one partition")
+    p.add_argument(
+        "--max-searchers", type=int, default=0,
+        help="profile through the concurrent executor (0 = sequential client)",
+    )
+    p.add_argument(
+        "--instance", default="c6i.2xlarge",
+        help="instance type compute time is priced against",
+    )
+    p.add_argument("--spans", help="also dump the span tree as JSONL here")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("compact", help="merge small index files")
     common(p, index_dir_required=True)

@@ -34,12 +34,21 @@ from repro.indices.base import (
 from repro.lake.snapshot import Snapshot
 from repro.lake.table import LakeTable
 from repro.meta.metadata_table import IndexRecord, MetadataTable
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 from repro.storage.latency import LatencyModel
 from repro.storage.object_store import ObjectStore
 from repro.storage.stats import RequestTrace
 
 INDEX_FILES_DIR = "files"
 DEFAULT_INDEX_TIMEOUT_S = 3600.0
+
+_SEARCHES = get_registry().counter(
+    "searches_total", "Search calls by query kind", ("kind",)
+)
+_INDEX_BUILDS = get_registry().counter(
+    "index_builds_total", "Index build attempts by outcome", ("outcome",)
+)
 
 
 @dataclass(frozen=True)
@@ -146,6 +155,43 @@ class RottnestClient:
         vanish mid-build (e.g. a concurrent lake vacuum), or when the
         new data is below the index type's minimum size.
         """
+        with get_tracer().span(
+            "index", column=column, index_type=index_type
+        ) as span:
+            before = self.store.stats.snapshot()
+            try:
+                record = self._index(
+                    column, index_type, snapshot=snapshot, params=params
+                )
+            except IndexAborted:
+                _INDEX_BUILDS.inc(outcome="aborted")
+                span.set("outcome", "aborted")
+                raise
+            finally:
+                delta = self.store.stats.snapshot().delta(before)
+                span.set("bytes_read", delta.bytes_read)
+                span.set("bytes_written", delta.bytes_written)
+                span.set(
+                    "requests",
+                    delta.gets + delta.puts + delta.lists
+                    + delta.heads + delta.deletes,
+                )
+            outcome = "noop" if record is None else "committed"
+            _INDEX_BUILDS.inc(outcome=outcome)
+            span.set("outcome", outcome)
+            if record is not None:
+                span.set("rows", record.num_rows)
+                span.set("index_bytes", record.size)
+            return record
+
+    def _index(
+        self,
+        column: str,
+        index_type: str,
+        *,
+        snapshot: Snapshot | None = None,
+        params: dict | None = None,
+    ) -> IndexRecord | None:
         snap = snapshot or self.lake.snapshot()
         started = self.store.clock.now()
         builder_cls = builder_for(index_type)
@@ -265,28 +311,39 @@ class RottnestClient:
         """
         if k < 1:
             raise RottnestIndexError(f"k must be >= 1, got {k}")
-        # Plan phase is part of the query's latency: reading the
-        # metadata table (and the snapshot manifest when not pinned)
-        # costs real object-store round trips.
-        self.store.start_trace()
-        snap = snapshot or self.lake.snapshot()
-        snap_paths = self._scope(snap, partition, file_predicate)
-        chosen, uncovered = self._plan(column, query, snap_paths)
-        plan_trace = self.store.stop_trace()
-        plan_trace.barrier()  # index queries depend on the plan
+        tracer = get_tracer()
+        with tracer.span(
+            "search", column=column, k=k, engine="client"
+        ) as root:
+            # Plan phase is part of the query's latency: reading the
+            # metadata table (and the snapshot manifest when not pinned)
+            # costs real object-store round trips.
+            with tracer.span("plan", phase="plan") as plan_span:
+                self.store.start_trace()
+                snap = snapshot or self.lake.snapshot()
+                snap_paths = self._scope(snap, partition, file_predicate)
+                chosen, uncovered = self._plan(column, query, snap_paths)
+                plan_trace = self.store.stop_trace()
+                plan_trace.barrier()  # index queries depend on the plan
+                plan_span.trace = plan_trace
 
-        stats = SearchStats(trace=plan_trace)
-        stats.index_files_queried = len(chosen)
+            stats = SearchStats(trace=plan_trace)
+            stats.index_files_queried = len(chosen)
 
-        if query.scoring:
-            matches = self._search_scoring(
-                column, query, k, snap, snap_paths, chosen, uncovered, stats
-            )
-        else:
-            matches = self._search_exact(
-                column, query, k, snap, snap_paths, chosen, uncovered, stats
-            )
-        return SearchResult(matches=matches, stats=stats)
+            if query.scoring:
+                matches = self._search_scoring(
+                    column, query, k, snap, snap_paths, chosen, uncovered, stats
+                )
+            else:
+                matches = self._search_exact(
+                    column, query, k, snap, snap_paths, chosen, uncovered, stats
+                )
+            _SEARCHES.inc(kind="scoring" if query.scoring else "exact")
+            root.set("matches", len(matches))
+            root.set("index_files_queried", stats.index_files_queried)
+            root.set("pages_probed", stats.pages_probed)
+            root.set("files_brute_forced", stats.files_brute_forced)
+            return SearchResult(matches=matches, stats=stats)
 
     def count(
         self,
@@ -313,25 +370,27 @@ class RottnestClient:
             raise RottnestIndexError(
                 "count() serves SubstringQuery only; use search() otherwise"
             )
-        snap = snapshot or self.lake.snapshot()
-        snap_paths = self._scope(snap, partition, None)
-        chosen, uncovered = self._plan(column, query, snap_paths)
-        total = 0
-        for record in chosen:
-            reader = IndexFileReader.open(self.store, record.index_key)
-            querier = FmQuerier(reader)
-            # Count only occurrences within in-scope files: when the
-            # index also covers out-of-scope files, fall back to probing
-            # pages per file via candidate resolution.
-            if set(record.covered_files) <= snap_paths:
-                total += querier.count(query.needle)
-            else:
-                total += self._count_via_scan(
-                    column, query, snap,
-                    set(record.covered_files) & snap_paths,
-                )
-        total += self._count_via_scan(column, query, snap, uncovered)
-        return total
+        with get_tracer().span("count", column=column) as span:
+            snap = snapshot or self.lake.snapshot()
+            snap_paths = self._scope(snap, partition, None)
+            chosen, uncovered = self._plan(column, query, snap_paths)
+            total = 0
+            for record in chosen:
+                reader = IndexFileReader.open(self.store, record.index_key)
+                querier = FmQuerier(reader)
+                # Count only occurrences within in-scope files: when the
+                # index also covers out-of-scope files, fall back to probing
+                # pages per file via candidate resolution.
+                if set(record.covered_files) <= snap_paths:
+                    total += querier.count(query.needle)
+                else:
+                    total += self._count_via_scan(
+                        column, query, snap,
+                        set(record.covered_files) & snap_paths,
+                    )
+            total += self._count_via_scan(column, query, snap, uncovered)
+            span.set("occurrences", total)
+            return total
 
     def _count_via_scan(self, column, query, snap, paths) -> int:
         total = 0
@@ -443,61 +502,70 @@ class RottnestClient:
         uncovered: set[str],
         stats: SearchStats,
     ) -> list[SearchMatch]:
+        tracer = get_tracer()
         candidate_pages: list[PageEntry] = []
         seen_pages: set[tuple[str, int]] = set()
-        index_trace = RequestTrace()
-        for record in chosen:
-            trace = self._query_one_exact(
-                record, query, snap_paths, candidate_pages, seen_pages
-            )
-            # Index files are queried in parallel with each other...
-            index_trace = index_trace.merge_parallel(trace)
+        with tracer.span("probe:index", phase="index_probe") as index_span:
+            index_trace = RequestTrace()
+            for record in chosen:
+                trace = self._query_one_exact(
+                    record, query, snap_paths, candidate_pages, seen_pages
+                )
+                # Index files are queried in parallel with each other...
+                index_trace = index_trace.merge_parallel(trace)
+            index_span.trace = index_trace
         # ...but strictly after the plan phase.
         stats.trace = stats.trace.then(index_trace)
         stats.candidates = len(candidate_pages)
 
         # In-situ probing: one parallel round of page reads, then verify
         # the real predicate row by row and apply deletion vectors.
-        self.store.start_trace()
-        field = snap.schema.field(column)
-        matches: list[SearchMatch] = []
-        verified_rows = 0
-        for entry in candidate_pages:
-            try:
-                row_start, values = read_page(self.store, field, entry)
-            except ObjectStoreError as exc:
-                _raise_unmaterialized(snap, entry.file_key, exc)
-            stats.pages_probed += 1
-            dv = self.lake.deletion_vector(snap, entry.file_key)
-            page_hit = False
-            for i, value in enumerate(values):
-                row = row_start + i
-                if row in dv or not query.matches(value):
-                    continue
-                page_hit = True
-                verified_rows += 1
-                matches.append(
-                    SearchMatch(file=entry.file_key, row=row, value=value)
-                )
-            if not page_hit:
-                stats.false_positives += 1
-            if len(matches) >= k:
-                break
-        # Probing depends on index results; sequential after them.
-        stats.trace = stats.trace.then(self.store.stop_trace())
+        with tracer.span("probe:pages", phase="page_read") as page_span:
+            self.store.start_trace()
+            field = snap.schema.field(column)
+            matches: list[SearchMatch] = []
+            verified_rows = 0
+            for entry in candidate_pages:
+                try:
+                    row_start, values = read_page(self.store, field, entry)
+                except ObjectStoreError as exc:
+                    _raise_unmaterialized(snap, entry.file_key, exc)
+                stats.pages_probed += 1
+                dv = self.lake.deletion_vector(snap, entry.file_key)
+                page_hit = False
+                for i, value in enumerate(values):
+                    row = row_start + i
+                    if row in dv or not query.matches(value):
+                        continue
+                    page_hit = True
+                    verified_rows += 1
+                    matches.append(
+                        SearchMatch(file=entry.file_key, row=row, value=value)
+                    )
+                if not page_hit:
+                    stats.false_positives += 1
+                if len(matches) >= k:
+                    break
+            # Probing depends on index results; sequential after them.
+            page_span.trace = self.store.stop_trace()
+            stats.trace = stats.trace.then(page_span.trace)
 
         # Brute-force the uncovered files only if K is not yet satisfied
         # (paper §IV-B step 3).
         if len(matches) < k and uncovered:
-            self.store.start_trace()
-            for path in sorted(uncovered):
-                stats.files_brute_forced += 1
-                matches.extend(
-                    self._brute_force_exact(column, query, snap, path, k - len(matches))
-                )
-                if len(matches) >= k:
-                    break
-            stats.trace = stats.trace.then(self.store.stop_trace())
+            with tracer.span("brute_force", phase="brute_force") as brute_span:
+                self.store.start_trace()
+                for path in sorted(uncovered):
+                    stats.files_brute_forced += 1
+                    matches.extend(
+                        self._brute_force_exact(
+                            column, query, snap, path, k - len(matches)
+                        )
+                    )
+                    if len(matches) >= k:
+                        break
+                brute_span.trace = self.store.stop_trace()
+                stats.trace = stats.trace.then(brute_span.trace)
         return matches[:k]
 
     def _query_one_exact(
@@ -561,25 +629,28 @@ class RottnestClient:
         uncovered: set[str],
         stats: SearchStats,
     ) -> list[SearchMatch]:
+        tracer = get_tracer()
         candidates: list[tuple[PageEntry, int, float]] = []
-        index_trace = RequestTrace()
-        for record in chosen:
-            self.store.start_trace()
-            try:
-                reader = IndexFileReader.open(self.store, record.index_key)
-                querier = querier_for(record.index_type)(reader)
-                assert isinstance(querier, ScoringQuerier)
-                found = querier.candidates(
-                    query.vector, nprobe=query.nprobe, limit=query.refine
-                )
-                directory = reader.directory
-                for cand in found:
-                    entry = directory.locate(cand.gid)
-                    if entry.file_key in snap_paths:
-                        candidates.append((entry, cand.offset, cand.score))
-            finally:
-                trace = self.store.stop_trace()
-            index_trace = index_trace.merge_parallel(trace)
+        with tracer.span("probe:index", phase="index_probe") as index_span:
+            index_trace = RequestTrace()
+            for record in chosen:
+                self.store.start_trace()
+                try:
+                    reader = IndexFileReader.open(self.store, record.index_key)
+                    querier = querier_for(record.index_type)(reader)
+                    assert isinstance(querier, ScoringQuerier)
+                    found = querier.candidates(
+                        query.vector, nprobe=query.nprobe, limit=query.refine
+                    )
+                    directory = reader.directory
+                    for cand in found:
+                        entry = directory.locate(cand.gid)
+                        if entry.file_key in snap_paths:
+                            candidates.append((entry, cand.offset, cand.score))
+                finally:
+                    trace = self.store.stop_trace()
+                index_trace = index_trace.merge_parallel(trace)
+            index_span.trace = index_trace
         stats.trace = stats.trace.then(index_trace)
         # Keep the globally best `refine` PQ candidates across indices.
         candidates.sort(key=lambda c: c[2])
@@ -587,51 +658,59 @@ class RottnestClient:
         stats.candidates = len(candidates)
 
         # Refine: read candidate pages, compute exact distances.
-        self.store.start_trace()
-        field = snap.schema.field(column)
-        by_page: dict[tuple[str, int], list[int]] = {}
-        entries: dict[tuple[str, int], PageEntry] = {}
-        for entry, offset, _ in candidates:
-            page_key = (entry.file_key, entry.page_id)
-            by_page.setdefault(page_key, []).append(offset)
-            entries[page_key] = entry
-        scored: list[SearchMatch] = []
-        for page_key, offsets in by_page.items():
-            entry = entries[page_key]
-            try:
-                row_start, values = read_page(self.store, field, entry)
-            except ObjectStoreError as exc:
-                _raise_unmaterialized(snap, entry.file_key, exc)
-            stats.pages_probed += 1
-            dv = self.lake.deletion_vector(snap, entry.file_key)
-            for offset in set(offsets):
-                row = row_start + offset
-                if row in dv:
-                    continue
-                value = values[offset]
-                scored.append(
-                    SearchMatch(
-                        file=entry.file_key,
-                        row=row,
-                        value=value,
-                        score=query.distance(value),
+        with tracer.span("probe:pages", phase="page_read") as page_span:
+            self.store.start_trace()
+            field = snap.schema.field(column)
+            by_page: dict[tuple[str, int], list[int]] = {}
+            entries: dict[tuple[str, int], PageEntry] = {}
+            for entry, offset, _ in candidates:
+                page_key = (entry.file_key, entry.page_id)
+                by_page.setdefault(page_key, []).append(offset)
+                entries[page_key] = entry
+            scored: list[SearchMatch] = []
+            for page_key, offsets in by_page.items():
+                entry = entries[page_key]
+                try:
+                    row_start, values = read_page(self.store, field, entry)
+                except ObjectStoreError as exc:
+                    _raise_unmaterialized(snap, entry.file_key, exc)
+                stats.pages_probed += 1
+                dv = self.lake.deletion_vector(snap, entry.file_key)
+                for offset in set(offsets):
+                    row = row_start + offset
+                    if row in dv:
+                        continue
+                    value = values[offset]
+                    scored.append(
+                        SearchMatch(
+                            file=entry.file_key,
+                            row=row,
+                            value=value,
+                            score=query.distance(value),
+                        )
                     )
-                )
+            page_span.trace = self.store.stop_trace()
+            stats.trace = stats.trace.then(page_span.trace)
         # Scoring queries must rank *all* data: unindexed files are
         # scanned exhaustively (paper §IV-B step 3).
-        for path in sorted(uncovered):
-            stats.files_brute_forced += 1
-            dv = self.lake.deletion_vector(snap, path)
-            reader = self._open_data_file(snap, path)
-            for row, value in reader.scan_column(column):
-                if row in dv:
-                    continue
-                scored.append(
-                    SearchMatch(
-                        file=path, row=row, value=value, score=query.distance(value)
-                    )
-                )
-        stats.trace = stats.trace.then(self.store.stop_trace())
+        if uncovered:
+            with tracer.span("brute_force", phase="brute_force") as brute_span:
+                self.store.start_trace()
+                for path in sorted(uncovered):
+                    stats.files_brute_forced += 1
+                    dv = self.lake.deletion_vector(snap, path)
+                    reader = self._open_data_file(snap, path)
+                    for row, value in reader.scan_column(column):
+                        if row in dv:
+                            continue
+                        scored.append(
+                            SearchMatch(
+                                file=path, row=row, value=value,
+                                score=query.distance(value),
+                            )
+                        )
+                brute_span.trace = self.store.stop_trace()
+                stats.trace = stats.trace.then(brute_span.trace)
         scored.sort(key=lambda m: m.score)
         return scored[:k]
 

@@ -24,6 +24,15 @@ from repro.core.maintenance import (
     vacuum_indices,
 )
 from repro.meta.metadata_table import IndexRecord
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+_TICKS = get_registry().counter(
+    "daemon_ticks_total", "Maintenance daemon ticks by outcome", ("outcome",)
+)
+_ACTIONS = get_registry().counter(
+    "daemon_actions_total", "Maintenance operations run by ticks", ("action",)
+)
 
 
 @dataclass(frozen=True)
@@ -116,31 +125,40 @@ class MaintenanceDaemon:
         a later tick retries.
         """
         report = TickReport()
-        for column, index_type in self.targets:
-            if self.index_due(column, index_type):
-                try:
-                    record = self.client.index(
-                        column,
-                        index_type,
-                        params=self.index_params.get((column, index_type)),
-                    )
-                except IndexAborted as exc:
-                    report.index_aborts.append(f"{column}/{index_type}: {exc}")
-                else:
-                    if record is not None:
-                        report.indexed.append(record)
-            if self.compact_due(column, index_type):
-                report.compacted.extend(
-                    compact_indices(
+        with get_tracer().span("daemon.tick") as span:
+            for column, index_type in self.targets:
+                if self.index_due(column, index_type):
+                    try:
+                        record = self.client.index(
+                            column,
+                            index_type,
+                            params=self.index_params.get((column, index_type)),
+                        )
+                    except IndexAborted as exc:
+                        report.index_aborts.append(f"{column}/{index_type}: {exc}")
+                        _ACTIONS.inc(action="index_abort")
+                    else:
+                        if record is not None:
+                            report.indexed.append(record)
+                            _ACTIONS.inc(action="index")
+                if self.compact_due(column, index_type):
+                    compacted = compact_indices(
                         self.client,
                         column,
                         index_type,
                         threshold_bytes=self.policy.compact_threshold_bytes,
                     )
-                )
-        if self.vacuum_due():
-            latest = self.client.lake.latest_version()
-            snapshot_id = max(0, latest - self.policy.retain_snapshots + 1)
-            report.vacuum = vacuum_indices(self.client, snapshot_id=snapshot_id)
-            self._last_vacuum = self.client.store.clock.now()
+                    report.compacted.extend(compacted)
+                    if compacted:
+                        _ACTIONS.inc(action="compact")
+            if self.vacuum_due():
+                latest = self.client.lake.latest_version()
+                snapshot_id = max(0, latest - self.policy.retain_snapshots + 1)
+                report.vacuum = vacuum_indices(self.client, snapshot_id=snapshot_id)
+                self._last_vacuum = self.client.store.clock.now()
+                _ACTIONS.inc(action="vacuum")
+            span.set("idle", report.idle)
+            span.set("indexed", len(report.indexed))
+            span.set("compacted", len(report.compacted))
+        _TICKS.inc(outcome="idle" if report.idle else "acted")
         return report

@@ -14,7 +14,6 @@ type-specific components follow and are addressed by *name* through the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.errors import FormatError
 from repro.formats.page_reader import PageEntry, PageTable

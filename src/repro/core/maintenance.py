@@ -18,9 +18,15 @@ from repro.formats.page_reader import build_page_table
 from repro.formats.reader import ParquetFile
 from repro.indices.base import builder_for
 from repro.meta.metadata_table import IndexRecord
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
 
 DEFAULT_COMPACT_THRESHOLD_BYTES = 16 * 1024 * 1024
 DEFAULT_COMPACT_TARGET_BYTES = 256 * 1024 * 1024
+
+_MAINTENANCE = get_registry().counter(
+    "maintenance_runs_total", "compact/vacuum passes completed", ("op",)
+)
 
 
 @dataclass
@@ -78,6 +84,29 @@ def compact_indices(
     records/files stay until :func:`vacuum_indices`, exactly like data
     lake compaction.
     """
+    with get_tracer().span(
+        "compact", column=column, index_type=index_type
+    ) as span:
+        merged_records = _compact_indices(
+            client,
+            column,
+            index_type,
+            threshold_bytes=threshold_bytes,
+            target_bytes=target_bytes,
+        )
+        span.set("merged_files", len(merged_records))
+        _MAINTENANCE.inc(op="compact")
+    return merged_records
+
+
+def _compact_indices(
+    client: RottnestClient,
+    column: str,
+    index_type: str,
+    *,
+    threshold_bytes: int,
+    target_bytes: int,
+) -> list[IndexRecord]:
     # Plan over the *covering set* only — the same newest-first greedy
     # search uses. Records subsumed by a newer (e.g. already-compacted)
     # index, or covering no file of the current snapshot, are vacuum
@@ -184,6 +213,16 @@ def vacuum_indices(client: RottnestClient, *, snapshot_id: int) -> VacuumReport:
     unreferenced files may belong to an in-flight indexer, which is
     guaranteed to either commit or abort within the timeout.
     """
+    with get_tracer().span("vacuum", snapshot_id=snapshot_id) as span:
+        report = _vacuum_indices(client, snapshot_id=snapshot_id)
+        span.set("kept", len(report.kept))
+        span.set("deleted_records", len(report.deleted_records))
+        span.set("deleted_objects", len(report.deleted_objects))
+        _MAINTENANCE.inc(op="vacuum")
+    return report
+
+
+def _vacuum_indices(client: RottnestClient, *, snapshot_id: int) -> VacuumReport:
     active = client.lake.files_since(snapshot_id)
     records = client.meta.records()
 

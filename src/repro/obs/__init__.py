@@ -1,0 +1,77 @@
+"""Unified observability: spans, metrics, and per-query cost bills.
+
+The paper's argument is quantitative — latency/cost decompositions
+(Fig. 8) and the TCO phase diagram (§VI) — so the reproduction needs
+first-class telemetry to prove any perf claim against:
+
+* :mod:`repro.obs.trace` — hierarchical spans with SimClock-aware
+  timing and context propagation across the serve executor's worker
+  threads;
+* :mod:`repro.obs.metrics` — a process-wide registry of labeled
+  counters/gauges/histograms every storage and serving layer reports
+  into;
+* :mod:`repro.obs.attribution` — joins a finished span tree with the
+  storage latency/cost models into a per-query dollar/latency bill
+  whose totals reconcile exactly with IOStats;
+* :mod:`repro.obs.export` — JSONL span dumps, text timelines, and the
+  stable ``BENCH_*.json`` schema benchmarks emit.
+
+Any later PR claiming a speedup demonstrates it through this module:
+``repro profile`` for one query, ``BENCH_*.json`` for the trajectory.
+"""
+
+from repro.obs.attribution import (
+    PhaseBill,
+    QueryBill,
+    attribute,
+    price_iostats,
+)
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    render_timeline,
+    span_to_dict,
+    spans_to_jsonl,
+    update_bench_json,
+    validate_bench,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    Span,
+    SpanEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseBill",
+    "QueryBill",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "attribute",
+    "get_registry",
+    "get_tracer",
+    "price_iostats",
+    "render_timeline",
+    "set_tracer",
+    "span_to_dict",
+    "spans_to_jsonl",
+    "update_bench_json",
+    "use_tracer",
+    "validate_bench",
+    "write_spans_jsonl",
+]

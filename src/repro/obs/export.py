@@ -1,0 +1,200 @@
+"""Exporters: JSONL span dumps, text timelines, and BENCH_*.json.
+
+Three consumers, three formats:
+
+* **machines** get :func:`spans_to_jsonl` — one flattened span per line
+  (``span_id``/``parent_id`` restore the tree), attributes made
+  JSON-safe and attached request traces summarized;
+* **humans** get :func:`render_timeline` — an indented flame-style view
+  with duration bars and per-span request/byte counts;
+* **the perf trajectory** gets the ``BENCH_*.json`` schema
+  (:data:`BENCH_SCHEMA`): a stable envelope every benchmark writes via
+  :func:`update_bench_json`, so successive PRs produce machine-diffable
+  before/after numbers instead of free-form text.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+from repro.obs.trace import Span
+
+#: Version tag inside every BENCH_*.json payload; bump on breaking change.
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+# ---------------------------------------------------------------------
+# span dumps
+# ---------------------------------------------------------------------
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, bytes):
+        return value.hex()
+    return repr(value)
+
+
+def span_to_dict(span: Span) -> dict:
+    """One span as a flat JSON-safe dict (children by parent_id)."""
+    out: dict[str, object] = {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "thread": span.thread,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "duration_s": span.duration_s,
+        "attributes": {k: _json_safe(v) for k, v in span.attributes.items()},
+        "events": [
+            {"op": e.op, "key": e.key, "nbytes": e.nbytes, "at_s": e.at_s}
+            for e in span.events
+        ],
+    }
+    if span.trace is not None:
+        out["trace"] = {
+            "requests": span.trace.total_requests,
+            "bytes": span.trace.total_bytes,
+            "depth": span.trace.depth,
+        }
+    return out
+
+
+def spans_to_jsonl(roots: Iterable[Span]) -> str:
+    """Flattened depth-first JSONL dump of one or more span trees."""
+    lines = [
+        json.dumps(span_to_dict(span), sort_keys=True)
+        for root in roots
+        for span in root.walk()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_spans_jsonl(path: str, roots: Iterable[Span]) -> None:
+    with open(path, "w") as f:
+        f.write(spans_to_jsonl(roots))
+
+
+# ---------------------------------------------------------------------
+# text timeline / flame view
+# ---------------------------------------------------------------------
+def render_timeline(
+    root: Span, *, width: int = 32, max_events: int = 4
+) -> str:
+    """Indented flame view of one span tree.
+
+    Bars are positioned/scaled against the root span's wall-clock
+    window; under a SimClock only simulated time (e.g. retry backoff)
+    moves, so bars may be empty while the request counts still tell the
+    story. Up to ``max_events`` object-store requests are shown per
+    span as ``GET key [bytes]`` leaves.
+    """
+    window = max(root.duration_s, 1e-12)
+    lines: list[str] = []
+
+    def bar(span: Span) -> str:
+        start = int((span.start_s - root.start_s) / window * width)
+        length = max(1, int(span.duration_s / window * width))
+        start = min(start, width - 1)
+        length = min(length, width - start)
+        return " " * start + "█" * length + " " * (width - start - length)
+
+    def walk(span: Span, depth: int) -> None:
+        label = f"{'  ' * depth}{span.name}"
+        extra = ""
+        if span.events or span.trace is not None:
+            requests = (
+                span.trace.total_requests if span.trace else len(span.events)
+            )
+            nbytes = span.trace.total_bytes if span.trace else sum(
+                e.nbytes for e in span.events
+            )
+            extra = f"  {requests} req / {nbytes} B"
+        lines.append(
+            f"{label:<36} |{bar(span)}| {span.duration_s * 1000:9.3f} ms{extra}"
+        )
+        shown = span.events[:max_events]
+        for event in shown:
+            lines.append(
+                f"{'  ' * (depth + 1)}· {event.op} {event.key} "
+                f"[{event.nbytes} B]"
+            )
+        if len(span.events) > max_events:
+            lines.append(
+                f"{'  ' * (depth + 1)}· … {len(span.events) - max_events} "
+                f"more request(s)"
+            )
+        for child in span.children:
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# BENCH_*.json
+# ---------------------------------------------------------------------
+def bench_payload(bench: str) -> dict:
+    """Empty envelope for one benchmark's machine-readable results."""
+    return {"schema": BENCH_SCHEMA, "bench": bench, "measurements": {}}
+
+
+def validate_bench(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` follows the schema."""
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"bad schema tag {payload.get('schema')!r}; want {BENCH_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("bench"), str):
+        raise ValueError("missing 'bench' name")
+    measurements = payload.get("measurements")
+    if not isinstance(measurements, dict):
+        raise ValueError("missing 'measurements' mapping")
+    for key, entry in measurements.items():
+        if not isinstance(entry, dict) or "metrics" not in entry:
+            raise ValueError(f"measurement {key!r} lacks a 'metrics' mapping")
+        if not isinstance(entry["metrics"], dict):
+            raise ValueError(f"measurement {key!r}: 'metrics' must be a dict")
+        if not isinstance(entry.get("params", {}), dict):
+            raise ValueError(f"measurement {key!r}: 'params' must be a dict")
+
+
+def update_bench_json(
+    path: str,
+    bench: str,
+    measurement: str,
+    *,
+    metrics: dict,
+    params: dict | None = None,
+) -> dict:
+    """Merge one measurement into ``BENCH_<bench>.json`` at ``path``.
+
+    Read-modify-write so independent benchmark tests can each
+    contribute their measurement to one file; returns the full payload
+    written. Metrics/params must be JSON-serializable scalars (floats,
+    ints, strings) — the point is diffable perf trajectories.
+    """
+    payload = bench_payload(bench)
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                existing = json.load(f)
+            validate_bench(existing)
+            if existing["bench"] == bench:
+                payload = existing
+        except (json.JSONDecodeError, ValueError):
+            pass  # malformed / foreign file: start a fresh envelope
+    payload["measurements"][measurement] = {
+        "params": {k: _json_safe(v) for k, v in (params or {}).items()},
+        "metrics": {k: _json_safe(v) for k, v in metrics.items()},
+    }
+    validate_bench(payload)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return payload

@@ -1,0 +1,262 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Every layer of the stack reports into one :class:`MetricsRegistry` —
+object stores count requests and bytes by op, the retry wrapper counts
+retries, the serving cache counts hits/misses/evictions, the search
+server observes per-query modeled latency, and the maintenance daemon
+counts actions. A labeled instrument is a family of independent series
+(``store_requests_total{op="GET"}`` vs ``{op="PUT"}``), mirroring the
+Prometheus data model so :meth:`MetricsRegistry.render` output is
+immediately scrapable-looking text.
+
+Instruments are deliberately tiny — one lock and one dict per
+instrument — because they sit on the object-store hot path; the
+serving benchmark's acceptance bound (warm-path throughput within 5%
+of pre-observability numbers) is the regression test for that.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+#: Label values as an ordered tuple; () for unlabeled instruments.
+_LabelKey = tuple[str, ...]
+
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+)
+
+
+class _Instrument:
+    """Shared machinery: label handling and per-series storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...]) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._lock = threading.Lock()
+        self._series: dict[_LabelKey, object] = {}
+
+    def _key(self, labels: dict[str, str]) -> _LabelKey:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def series(self) -> dict[_LabelKey, object]:
+        """Snapshot of every series' current value."""
+        with self._lock:
+            return dict(self._series)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+
+    def inc(self, amount: int | float = 1, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counter increments must be >= 0")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: str) -> int | float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0)
+
+    def total(self) -> int | float:
+        """Sum across every labeled series."""
+        with self._lock:
+            return sum(self._series.values())
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (bytes cached, queries in flight)."""
+
+    kind = "gauge"
+
+    def set(self, value: int | float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = value
+
+    def add(self, amount: int | float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: str) -> int | float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0)
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # last bucket = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Distribution over fixed buckets (cumulative on render)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        if list(buckets) != sorted(buckets) or not buckets:
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries(len(self.buckets))
+                self._series[key] = series
+            series.counts[bisect_left(self.buckets, value)] += 1
+            series.sum += value
+            series.count += 1
+
+    def snapshot(self, **labels: str) -> dict:
+        """``{"count", "sum", "buckets": {le: cumulative_count}}``."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return {"count": 0, "sum": 0.0, "buckets": {}}
+            cumulative = 0
+            out: dict[str, int] = {}
+            for bound, count in zip(self.buckets, series.counts):
+                cumulative += count
+                out[f"{bound:g}"] = cumulative
+            out["+Inf"] = cumulative + series.counts[-1]
+            return {"count": series.count, "sum": series.sum, "buckets": out}
+
+
+class MetricsRegistry:
+    """Named instruments; get-or-create so callers never race on setup."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, label_names, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.label_names != tuple(
+                    label_names
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            instrument = cls(name, help, tuple(label_names), **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(
+        self, name: str, help: str = "", label_names: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, label_names)
+
+    def gauge(
+        self, name: str, help: str = "", label_names: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, label_names, buckets=buckets
+        )
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-friendly dump: ``{name: {kind, help, series: {...}}}``.
+
+        Series keys are ``label=value`` comma-joined strings ("" for the
+        unlabeled series); histogram series expand to their snapshot.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+        out: dict[str, dict] = {}
+        for instrument in instruments:
+            series: dict[str, object] = {}
+            if isinstance(instrument, Histogram):
+                for key in list(instrument.series()):
+                    labels = dict(zip(instrument.label_names, key))
+                    series[_fmt_labels(instrument.label_names, key)] = (
+                        instrument.snapshot(**labels)
+                    )
+            else:
+                for key, value in instrument.series().items():
+                    series[_fmt_labels(instrument.label_names, key)] = value
+            out[instrument.name] = {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "series": series,
+            }
+        return out
+
+    def render(self) -> str:
+        """Prometheus-exposition-style text of every instrument."""
+        lines: list[str] = []
+        for name, data in sorted(self.snapshot().items()):
+            if data["help"]:
+                lines.append(f"# HELP {name} {data['help']}")
+            lines.append(f"# TYPE {name} {data['kind']}")
+            for key, value in sorted(data["series"].items()):
+                suffix = f"{{{key}}}" if key else ""
+                if isinstance(value, dict):  # histogram
+                    for bound, count in value["buckets"].items():
+                        sep = "," if key else ""
+                        lines.append(
+                            f'{name}_bucket{{{key}{sep}le="{bound}"}} {count}'
+                        )
+                    lines.append(f"{name}_sum{suffix} {value['sum']:g}")
+                    lines.append(f"{name}_count{suffix} {value['count']}")
+                else:
+                    lines.append(f"{name}{suffix} {value:g}")
+        return "\n".join(lines)
+
+
+def _fmt_labels(names: tuple[str, ...], values: _LabelKey) -> str:
+    return ",".join(f'{n}="{v}"' for n, v in zip(names, values))
+
+
+_global_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry every subsystem reports into."""
+    return _global_registry

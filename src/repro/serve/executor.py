@@ -39,6 +39,7 @@ from repro.formats.page_reader import PageEntry, read_page
 from repro.indices.base import ExactQuerier, ScoringQuerier, querier_for
 from repro.lake.snapshot import Snapshot
 from repro.meta.metadata_table import IndexRecord
+from repro.obs.trace import Span, get_tracer
 from repro.storage.stats import RequestTrace
 
 T = TypeVar("T")
@@ -74,17 +75,32 @@ class SearchExecutor:
         self.close()
 
     # -- fan-out machinery ---------------------------------------------
-    def _traced(self, fn: Callable[[], T]) -> Callable[[], tuple[RequestTrace, T]]:
+    def _traced(
+        self, fn: Callable[[], T], parent: Span | None
+    ) -> Callable[[], tuple[RequestTrace, T]]:
         """Wrap a task so it records store requests into its own
-        per-thread trace and returns ``(trace, payload)``."""
+        per-thread trace and returns ``(trace, payload)``.
+
+        ``parent`` is the submitting thread's current span: the worker
+        re-attaches it so its ``searcher:task`` span (and the store
+        events recorded inside) lands under the right query span even
+        though it runs on a pool thread.
+        """
         store = self.client.store
 
         def run() -> tuple[RequestTrace, T]:
-            store.start_trace()
-            try:
-                payload = fn()
-            finally:
-                trace = store.stop_trace()
+            tracer = get_tracer()
+            with tracer.attach(parent), tracer.span("searcher:task") as task_span:
+                store.start_trace()
+                try:
+                    payload = fn()
+                finally:
+                    trace = store.stop_trace()
+                # Per-task trace for inspection; the *phase* span owns
+                # the merged wave trace, so attribution counts each
+                # request once (task spans carry no ``phase`` attr).
+                task_span.trace = trace
+                task_span.set("requests", trace.total_requests)
             return trace, payload
 
         return run
@@ -97,12 +113,13 @@ class SearchExecutor:
         at once). Payloads come back in task order regardless of
         completion order, which is what keeps results deterministic.
         """
+        parent = get_tracer().current()
         combined = RequestTrace()
         payloads: list[T] = []
         width = self.max_searchers
         for start in range(0, len(tasks), width):
             wave = tasks[start : start + width]
-            futures = [self._pool.submit(self._traced(fn)) for fn in wave]
+            futures = [self._pool.submit(self._traced(fn, parent)) for fn in wave]
             wave_trace = RequestTrace()
             errors: list[BaseException] = []
             for future in futures:
@@ -134,25 +151,39 @@ class SearchExecutor:
             raise RottnestIndexError(f"k must be >= 1, got {k}")
         client = self.client
         store = client.store
-        # Plan phase on the calling thread: metadata-table and manifest
-        # reads are inherently sequential round trips.
-        store.start_trace()
-        snap = snapshot or client.lake.snapshot()
-        snap_paths = client._scope(snap, partition, file_predicate)
-        chosen, uncovered = client._plan(column, query, snap_paths)
-        plan_trace = store.stop_trace()
-        plan_trace.barrier()
+        tracer = get_tracer()
+        with tracer.span(
+            "search",
+            column=column,
+            k=k,
+            engine="executor",
+            searchers=self.max_searchers,
+        ) as root:
+            # Plan phase on the calling thread: metadata-table and
+            # manifest reads are inherently sequential round trips.
+            with tracer.span("plan", phase="plan") as plan_span:
+                store.start_trace()
+                snap = snapshot or client.lake.snapshot()
+                snap_paths = client._scope(snap, partition, file_predicate)
+                chosen, uncovered = client._plan(column, query, snap_paths)
+                plan_trace = store.stop_trace()
+                plan_trace.barrier()
+                plan_span.trace = plan_trace
 
-        stats = SearchStats(trace=plan_trace)
-        stats.index_files_queried = len(chosen)
-        if query.scoring:
-            matches = self._scoring(
-                column, query, k, snap, snap_paths, chosen, uncovered, stats
-            )
-        else:
-            matches = self._exact(
-                column, query, k, snap, snap_paths, chosen, uncovered, stats
-            )
+            stats = SearchStats(trace=plan_trace)
+            stats.index_files_queried = len(chosen)
+            if query.scoring:
+                matches = self._scoring(
+                    column, query, k, snap, snap_paths, chosen, uncovered, stats
+                )
+            else:
+                matches = self._exact(
+                    column, query, k, snap, snap_paths, chosen, uncovered, stats
+                )
+            root.set("matches", len(matches))
+            root.set("index_files_queried", stats.index_files_queried)
+            root.set("pages_probed", stats.pages_probed)
+            root.set("files_brute_forced", stats.files_brute_forced)
         return SearchResult(matches=matches, stats=stats)
 
     # -- exact path ------------------------------------------------------
@@ -182,9 +213,11 @@ class SearchExecutor:
                 if entry.file_key in snap_paths
             ]
 
-        index_trace, per_record = self._fan_out(
-            [lambda r=record: probe_index(r) for record in chosen]
-        )
+        with get_tracer().span("probe:index", phase="index_probe") as index_span:
+            index_trace, per_record = self._fan_out(
+                [lambda r=record: probe_index(r) for record in chosen]
+            )
+            index_span.trace = index_trace
         stats.trace = stats.trace.then(index_trace)
         # Dedup across records in submission order — same first-wins
         # rule as the sequential client's shared `seen_pages` set.
@@ -211,9 +244,11 @@ class SearchExecutor:
             dv = client.lake.deletion_vector(snap, entry.file_key)
             return row_start, values, dv
 
-        probe_trace, pages = self._fan_out(
-            [lambda e=entry: probe_page(e) for entry in candidate_pages]
-        )
+        with get_tracer().span("probe:pages", phase="page_read") as page_span:
+            probe_trace, pages = self._fan_out(
+                [lambda e=entry: probe_page(e) for entry in candidate_pages]
+            )
+            page_span.trace = probe_trace
         stats.trace = stats.trace.then(probe_trace)
         stats.pages_probed = len(pages)
         matches: list[SearchMatch] = []
@@ -234,14 +269,16 @@ class SearchExecutor:
 
         if len(matches) < k and uncovered:
             needed = k - len(matches)
-            brute_trace, per_file = self._fan_out(
-                [
-                    lambda p=path: client._brute_force_exact(
-                        column, query, snap, p, needed
-                    )
-                    for path in sorted(uncovered)
-                ]
-            )
+            with get_tracer().span("brute_force", phase="brute_force") as brute_span:
+                brute_trace, per_file = self._fan_out(
+                    [
+                        lambda p=path: client._brute_force_exact(
+                            column, query, snap, p, needed
+                        )
+                        for path in sorted(uncovered)
+                    ]
+                )
+                brute_span.trace = brute_trace
             stats.trace = stats.trace.then(brute_trace)
             stats.files_brute_forced = len(per_file)
             for file_matches in per_file:
@@ -280,9 +317,11 @@ class SearchExecutor:
                 if entry.file_key in snap_paths
             ]
 
-        index_trace, per_record = self._fan_out(
-            [lambda r=record: probe_index(r) for record in chosen]
-        )
+        with get_tracer().span("probe:index", phase="index_probe") as index_span:
+            index_trace, per_record = self._fan_out(
+                [lambda r=record: probe_index(r) for record in chosen]
+            )
+            index_span.trace = index_trace
         stats.trace = stats.trace.then(index_trace)
         candidates: list[tuple[PageEntry, int, float]] = []
         for found in per_record:
@@ -310,9 +349,11 @@ class SearchExecutor:
             return row_start, values, dv
 
         page_keys = list(by_page)
-        refine_trace, pages = self._fan_out(
-            [lambda pk=page_key: probe_page(entries[pk]) for page_key in page_keys]
-        )
+        with get_tracer().span("probe:pages", phase="page_read") as page_span:
+            refine_trace, pages = self._fan_out(
+                [lambda pk=page_key: probe_page(entries[pk]) for page_key in page_keys]
+            )
+            page_span.trace = refine_trace
         stats.pages_probed = len(pages)
         scored: list[SearchMatch] = []
         for page_key, (row_start, values, dv) in zip(page_keys, pages):
@@ -342,9 +383,11 @@ class SearchExecutor:
                 if row not in dv
             ]
 
-        scan_trace, per_file = self._fan_out(
-            [lambda p=path: scan_file(p) for path in sorted(uncovered)]
-        )
+        with get_tracer().span("brute_force", phase="brute_force") as scan_span:
+            scan_trace, per_file = self._fan_out(
+                [lambda p=path: scan_file(p) for path in sorted(uncovered)]
+            )
+            scan_span.trace = scan_trace
         stats.files_brute_forced = len(per_file)
         for file_matches in per_file:
             scored.extend(file_matches)

@@ -29,12 +29,26 @@ from repro.core.queries import Query, VectorQuery
 from repro.errors import ServeError, ServerOverloaded
 from repro.lake.snapshot import Snapshot
 from repro.lake.table import LakeTable
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S, get_registry
+from repro.obs.trace import get_tracer
 from repro.serve.cache import CacheStats, CachingObjectStore
 from repro.serve.executor import SearchExecutor
 from repro.serve.singleflight import SingleFlight
 from repro.storage.latency import LatencyModel
 from repro.storage.object_store import ObjectStore
 from repro.tco.throughput import ThroughputModel
+
+_QUERIES = get_registry().counter(
+    "serve_queries_total", "Queries by admission outcome", ("status",)
+)
+_INFLIGHT = get_registry().gauge(
+    "serve_inflight_queries", "Queries currently holding an admission slot"
+)
+_LATENCY = get_registry().histogram(
+    "serve_modeled_latency_seconds",
+    "Modeled end-to-end query latency",
+    buckets=DEFAULT_LATENCY_BUCKETS_S,
+)
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -249,11 +263,13 @@ class SearchServer:
             if not admitted:
                 with self._stats_lock:
                     self.stats.rejected += 1
+                _QUERIES.inc(status="rejected")
                 raise ServerOverloaded(
                     f"{self.max_inflight} queries already in flight"
                 )
         else:
             self._admission.acquire()
+        _INFLIGHT.add(1)
         try:
             flight_key = (
                 column,
@@ -263,23 +279,26 @@ class SearchServer:
                 partition,
             )
             def execute() -> SearchResult:
-                return self.executor.search(
-                    column,
-                    query,
-                    k=k,
-                    snapshot=snapshot,
-                    partition=partition,
-                )
+                with get_tracer().span("serve.query", column=column, k=k):
+                    return self.executor.search(
+                        column,
+                        query,
+                        k=k,
+                        snapshot=snapshot,
+                        partition=partition,
+                    )
 
             result, shared = self._flights.do_detailed(flight_key, execute)
+            modeled_s = result.stats.estimated_latency(self.latency_model)
             with self._stats_lock:
                 self.stats.queries += 1
                 if shared:
                     self.stats.deduplicated += 1
                 self.stats.total_requests += result.stats.trace.total_requests
-                self.stats.latencies_s.append(
-                    result.stats.estimated_latency(self.latency_model)
-                )
+                self.stats.latencies_s.append(modeled_s)
+            _QUERIES.inc(status="deduplicated" if shared else "served")
+            _LATENCY.observe(modeled_s)
             return result
         finally:
+            _INFLIGHT.add(-1)
             self._admission.release()

@@ -9,6 +9,7 @@ Existence and Consistency invariants still hold (paper §IV-D).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -18,25 +19,36 @@ from repro.storage.object_store import ObjectInfo, ObjectStore
 
 @dataclass
 class FaultRule:
-    """Fires on the ``countdown``-th matching operation (0 = next one)."""
+    """Fires on the ``countdown``-th matching operation (0 = next one).
+
+    Thread-safe: faulty stores sit under the serve executor's worker
+    pool, where concurrent operations race on the countdown. The
+    decrement and the fired flip happen under one lock, so exactly one
+    operation observes the trigger.
+    """
 
     op: str  # "PUT" | "GET" | "DELETE" | "LIST" | "HEAD" | "*"
     key_predicate: Callable[[str], bool] = lambda key: True
     countdown: int = 0
     fired: bool = field(default=False, init=False)
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def matches(self, op: str, key: str) -> bool:
-        if self.fired:
-            return False
+        # Predicate checks are read-only and can stay outside the lock.
         if self.op != "*" and self.op != op:
             return False
         if not self.key_predicate(key):
             return False
-        if self.countdown > 0:
-            self.countdown -= 1
-            return False
-        self.fired = True
-        return True
+        with self._lock:
+            if self.fired:
+                return False
+            if self.countdown > 0:
+                self.countdown -= 1
+                return False
+            self.fired = True
+            return True
 
 
 class FaultyObjectStore(ObjectStore):

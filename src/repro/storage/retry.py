@@ -29,11 +29,19 @@ from repro.errors import (
     ObjectStoreError,
     PreconditionFailed,
 )
+from repro.obs.metrics import get_registry
 from repro.storage.object_store import ObjectInfo, ObjectStore
 from repro.util.clock import SimClock
 
 #: Errors that are permanent facts about the request, never transient.
 _PERMANENT = (ObjectNotFound, PreconditionFailed, InvalidByteRange)
+
+_RETRIES = get_registry().counter(
+    "store_retries_total", "Transient store errors retried, by operation", ("op",)
+)
+_BACKOFF = get_registry().counter(
+    "store_backoff_seconds_total", "Cumulative retry backoff wait time"
+)
 
 
 class RetryingObjectStore(ObjectStore):
@@ -88,8 +96,10 @@ class RetryingObjectStore(ObjectStore):
             except ObjectStoreError as exc:
                 last = exc
                 self.retries += 1
+                _RETRIES.inc(op=operation.__name__.upper())
                 if attempt + 1 < self.max_attempts:
                     delay = self._next_delay(delay)
+                    _BACKOFF.inc(delay)
                     self._backoff(delay)
         raise last  # type: ignore[misc]
 

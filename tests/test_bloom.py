@@ -15,7 +15,7 @@ from repro.indices.bloom import BloomBuilder, BloomQuerier, PageBloom
 from repro.storage.object_store import InMemoryObjectStore
 from repro.util.binio import BinaryReader, BinaryWriter
 
-from tests.conftest import event_batch, event_uuid
+from tests.conftest import event_uuid
 
 
 def key_of(i: int) -> bytes:

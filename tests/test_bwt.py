@@ -1,6 +1,5 @@
 """Suffix array / BWT primitives vs naive references."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,6 @@
 """Cross-engine oracle: Rottnest, brute force, and the copy-data system
 must agree on every query over the same lake state."""
 
-import hashlib
 
 import numpy as np
 import pytest
@@ -17,7 +16,7 @@ from repro.lake.table import LakeTable, TableConfig
 from repro.storage.object_store import InMemoryObjectStore
 from repro.util.clock import SimClock
 
-from tests.conftest import event_batch, event_uuid
+from tests.conftest import event_uuid
 
 
 def rowset(matches):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.client import RottnestClient
 from repro.core.daemon import MaintenanceDaemon, MaintenancePolicy
-from repro.core.queries import SubstringQuery, UuidQuery, VectorQuery
+from repro.core.queries import SubstringQuery, UuidQuery
 
 from tests.conftest import event_batch, event_uuid
 

@@ -1,0 +1,71 @@
+"""FaultRule under concurrency: exactly one trigger, no lost countdowns."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import InjectedFault
+from repro.storage.faults import FaultRule, FaultyObjectStore
+
+
+class TestFaultRuleThreadSafety:
+    def test_exactly_one_fire_under_contention(self):
+        """8 threads x 100 matching ops against countdown=20: the rule
+        must fire exactly once, on the 21st matching op overall."""
+        rule = FaultRule(op="GET", countdown=20)
+        fired = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def hammer() -> None:
+            barrier.wait()
+            for _ in range(100):
+                if rule.matches("GET", "some/key"):
+                    with lock:
+                        fired.append(threading.current_thread().name)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(fired) == 1
+        assert rule.fired
+        assert rule.countdown == 0
+        # Once fired, the rule never matches again.
+        assert not rule.matches("GET", "some/key")
+
+    def test_non_matching_ops_do_not_consume_countdown(self):
+        rule = FaultRule(op="PUT", countdown=1)
+        assert not rule.matches("GET", "k")
+        assert rule.countdown == 1
+        assert not rule.matches("PUT", "k")  # consumes the countdown
+        assert rule.matches("PUT", "k")  # fires
+        assert not rule.matches("PUT", "k")
+
+    def test_key_predicate_unchanged(self):
+        rule = FaultRule(op="*", key_predicate=lambda k: "idx/" in k)
+        assert not rule.matches("GET", "lake/data")
+        assert rule.matches("GET", "idx/files/a")
+
+    def test_faulty_store_still_fires_once(self, store):
+        store.put("idx/a", b"x")
+        faulty = FaultyObjectStore(store)
+        faulty.fail_next("GET", "idx/")
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def reader() -> None:
+            barrier.wait()
+            for _ in range(10):
+                try:
+                    faulty.get("idx/a")
+                except InjectedFault as exc:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(errors) == 1

@@ -4,7 +4,6 @@ and cross-engine agreement."""
 import hashlib
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,7 +11,6 @@ from repro.core.client import RottnestClient
 from repro.core.maintenance import compact_indices, vacuum_indices
 from repro.core.queries import SubstringQuery, UuidQuery, VectorQuery
 from repro.engines.bruteforce import BruteForceEngine
-from repro.engines.dedicated import DedicatedSearchSystem
 from repro.errors import IndexAborted
 from repro.formats.schema import ColumnType, Field, Schema
 from repro.lake.table import LakeTable, TableConfig

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.client import RottnestClient
 from repro.core.index_file import IndexFileReader, IndexFileWriter, PageDirectory
-from repro.core.queries import RangeQuery, UuidQuery
+from repro.core.queries import RangeQuery
 from repro.errors import RottnestIndexError, TCOError
 from repro.formats.page_reader import PageEntry, PageTable
 from repro.formats.schema import ColumnType, Field, Schema

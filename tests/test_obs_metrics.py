@@ -1,0 +1,143 @@
+"""Metrics registry: counters, gauges, histograms, exposition."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_labels(self, registry):
+        c = registry.counter("ops_total", "ops", ("op",))
+        c.inc(op="GET")
+        c.inc(2, op="GET")
+        c.inc(op="PUT")
+        assert c.value(op="GET") == 3
+        assert c.value(op="PUT") == 1
+        assert c.value(op="LIST") == 0
+        assert c.total() == 4
+
+    def test_unlabeled(self, registry):
+        c = registry.counter("plain_total", "plain")
+        c.inc()
+        c.inc(5)
+        assert c.value() == 6
+
+    def test_negative_rejected(self, registry):
+        c = registry.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_unknown_label_rejected(self, registry):
+        c = registry.counter("y_total", "y", ("op",))
+        with pytest.raises(ValueError):
+            c.inc(direction="up")
+
+    def test_thread_safe_increments(self, registry):
+        c = registry.counter("race_total", "race", ("who",))
+
+        def bump() -> None:
+            for _ in range(1000):
+                c.inc(who="t")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(who="t") == 8000
+
+
+class TestGauge:
+    def test_set_and_add(self, registry):
+        g = registry.gauge("bytes", "bytes held")
+        g.set(100)
+        g.add(20)
+        g.add(-50)
+        assert g.value() == 70
+
+    def test_labeled(self, registry):
+        g = registry.gauge("pool", "per pool", ("pool",))
+        g.set(3, pool="a")
+        g.set(5, pool="b")
+        assert g.value(pool="a") == 3
+        assert g.value(pool="b") == 5
+
+
+class TestHistogram:
+    def test_observe_and_snapshot(self, registry):
+        h = registry.histogram("lat", "latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+        # Cumulative bucket counts, +Inf last.
+        assert snap["buckets"]["0.1"] == 1
+        assert snap["buckets"]["1"] == 3
+        assert snap["buckets"]["10"] == 4
+        assert snap["buckets"]["+Inf"] == 5
+
+    def test_default_latency_buckets_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_S) == sorted(
+            DEFAULT_LATENCY_BUCKETS_S
+        )
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self, registry):
+        a = registry.counter("same_total", "same", ("op",))
+        b = registry.counter("same_total", "same", ("op",))
+        assert a is b
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("thing", "thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing", "thing")
+
+    def test_label_mismatch_raises(self, registry):
+        registry.counter("lbl_total", "lbl", ("op",))
+        with pytest.raises(ValueError):
+            registry.counter("lbl_total", "lbl", ("direction",))
+
+    def test_get(self, registry):
+        c = registry.counter("found_total", "found")
+        assert registry.get("found_total") is c
+        assert registry.get("missing") is None
+
+    def test_snapshot_and_render(self, registry):
+        registry.counter("a_total", "a docs", ("op",)).inc(op="GET")
+        registry.gauge("b_gauge", "b docs").set(7)
+        registry.histogram("c_hist", "c docs", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["a_total"]["series"] == {'op="GET"': 1}
+        assert snap["b_gauge"]["series"] == {"": 7}
+        text = registry.render()
+        assert '# HELP a_total a docs' in text
+        assert 'a_total{op="GET"} 1' in text
+        assert "b_gauge 7" in text
+        assert "c_hist_count 1" in text
+
+    def test_global_registry_is_process_wide(self):
+        assert get_registry() is get_registry()
+
+    def test_instrumented_store_reports(self, store):
+        before = get_registry().counter(
+            "store_requests_total", "Object-store requests by operation", ("op",)
+        ).value(op="PUT")
+        store.put("k", b"abc")
+        store.get("k")
+        after = get_registry().get("store_requests_total")
+        assert after.value(op="PUT") == before + 1

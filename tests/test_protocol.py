@@ -12,7 +12,6 @@ from repro.core.maintenance import compact_indices, vacuum_indices
 from repro.core.queries import RegexQuery, SubstringQuery, UuidQuery, VectorQuery
 from repro.formats.reader import ParquetFile
 from repro.core.index_file import IndexFileReader
-from repro.indices.base import querier_for
 from repro.lake.table import LakeTable
 from repro.storage.faults import FaultyObjectStore
 

@@ -1,6 +1,5 @@
 """TCO model, phase diagrams, sensitivity sweeps (§VI, Fig. 7/9/12)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
