@@ -1,0 +1,40 @@
+"""repro.chaos — crash-fault chaos harness for the maintenance protocol.
+
+Three layers:
+
+* :mod:`repro.chaos.points` — the canonical registry of crash points
+  (mutation boundaries) with their §IV-D safety arguments; kept
+  one-to-one with the crash matrix in ``docs/protocol.md``.
+* :mod:`repro.chaos.harness` — the systematic instrument:
+  :func:`~repro.chaos.harness.crash_matrix` crashes one operation after
+  *every* mutation, audits invariants, and proves fresh-client recovery
+  converges on the uninterrupted state.
+* :mod:`repro.chaos.fuzzer` — the randomized instrument:
+  :class:`~repro.chaos.fuzzer.ProtocolFuzzer` interleaves the whole
+  protocol across simulated clients with seeded crash injection and an
+  exact search oracle. Exposed as the ``repro chaos`` CLI subcommand.
+"""
+
+from repro.chaos.fuzzer import (
+    ChaosConfig,
+    ChaosReport,
+    ChaosViolation,
+    ProtocolFuzzer,
+    run_chaos,
+)
+from repro.chaos.harness import CrashMatrix, CrashOutcome, crash_matrix
+from repro.chaos.points import CRASH_POINTS, MUTATING_VERBS, classify_crash_point
+
+__all__ = [
+    "CRASH_POINTS",
+    "MUTATING_VERBS",
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosViolation",
+    "CrashMatrix",
+    "CrashOutcome",
+    "ProtocolFuzzer",
+    "classify_crash_point",
+    "crash_matrix",
+    "run_chaos",
+]

@@ -1,0 +1,101 @@
+"""Canonical names for every crash point of the maintenance protocol.
+
+A *crash point* is a mutation boundary: the client performed one PUT or
+DELETE and died before doing anything else. The protocol's §IV-D
+correctness argument is exactly a case analysis over these boundaries,
+so they get stable, documented identifiers:
+
+* the crash matrix in ``docs/protocol.md`` walks the same names
+  (a unit test keeps the two sets equal, one-to-one);
+* the fuzzer reports which points each run covered, so "every crash
+  point exercised" is a checkable claim, not a vibe.
+
+``search`` has no crash points — it never mutates — which is itself a
+protocol property worth stating.
+"""
+
+from __future__ import annotations
+
+from repro.core.client import INDEX_FILES_DIR
+from repro.meta.metadata_table import CHECKPOINT_DIR, META_LOG_DIR
+
+#: Every crash point the protocol can reach, with the §IV-D argument
+#: for why the invariants survive it. Keys are ``verb:boundary``.
+CRASH_POINTS: dict[str, str] = {
+    "index:put-index-file": (
+        "Index file uploaded, metadata commit never happened. The file "
+        "is an invisible orphan (searches plan from metadata only); "
+        "vacuum removes it once older than the index timeout."
+    ),
+    "index:put-meta-commit": (
+        "Metadata commit landed; the index is fully live. The dead "
+        "client's remaining work was only returning to its caller."
+    ),
+    "index:put-meta-checkpoint": (
+        "Commit landed, checkpoint upload interrupted. Checkpoints are "
+        "a pure read optimization: readers replay the log tail from an "
+        "older checkpoint (or from scratch) and see identical state."
+    ),
+    "compact:put-merged-index": (
+        "A merged index file uploaded, commit never happened. Same "
+        "orphan story as index:put-index-file — and because merged "
+        "keys are content-addressed, the re-run overwrites the same "
+        "key with the same bytes instead of stacking orphans."
+    ),
+    "compact:put-meta-commit": (
+        "Merged records committed; old records stay until vacuum, "
+        "exactly as in an uninterrupted run. A re-run finds the small "
+        "files subsumed by the newer merged index and no-ops."
+    ),
+    "compact:put-meta-checkpoint": (
+        "Commit landed, checkpoint interrupted — harmless read "
+        "optimization, as with index:put-meta-checkpoint."
+    ),
+    "vacuum:put-meta-commit": (
+        "Record deletions committed, physical deletions never started. "
+        "Metadata shrank first, so M ⊆ B still holds; the lingering "
+        "files are unreferenced and a later vacuum removes them."
+    ),
+    "vacuum:put-meta-checkpoint": (
+        "Deletion commit landed, checkpoint interrupted — harmless "
+        "read optimization."
+    ),
+    "vacuum:delete-index-file": (
+        "Crashed partway through physical deletions. Every deleted "
+        "file was already unreferenced (the commit came first), so "
+        "Existence never observes a dangling reference; a later "
+        "vacuum finishes the remainder (deleting a missing key is an "
+        "S3 no-op)."
+    ),
+}
+
+#: Maintenance verbs that mutate the store (search never does).
+MUTATING_VERBS = ("index", "compact", "vacuum")
+
+
+def classify_crash_point(verb: str, op: str, key: str) -> str:
+    """Map a crash observed during ``verb`` to its canonical name.
+
+    ``op``/``key`` come straight off the
+    :class:`~repro.errors.SimulatedCrash`. Unrecognized combinations
+    return a ``verb:unclassified-…`` name that is deliberately *not*
+    in :data:`CRASH_POINTS` — the fuzzer treats those as findings,
+    because a mutation boundary nobody enumerated is exactly the kind
+    of hole this harness exists to catch.
+    """
+    op = op.upper()
+    if op == "DELETE" and f"/{INDEX_FILES_DIR}/" in key:
+        name = f"{verb}:delete-index-file"
+    elif op == "PUT" and f"/{CHECKPOINT_DIR}/" in key:
+        name = f"{verb}:put-meta-checkpoint"
+    elif op == "PUT" and f"/{META_LOG_DIR}/" in key:
+        name = f"{verb}:put-meta-commit"
+    elif op == "PUT" and f"/{INDEX_FILES_DIR}/" in key:
+        name = (
+            "compact:put-merged-index"
+            if verb == "compact"
+            else f"{verb}:put-index-file"
+        )
+    else:
+        name = f"{verb}:unclassified-{op.lower()}"
+    return name

@@ -345,6 +345,30 @@ def cmd_fsck(args) -> int:
     return 0 if report.invariants_hold else 2
 
 
+def cmd_chaos(args) -> int:
+    """Seeded crash-fault fuzzing of the whole maintenance protocol.
+
+    Runs entirely in memory against a simulated clock (no ``--root``):
+    the subject is the protocol, not any particular bucket. Exit 0 on a
+    clean run, 2 when an invariant was violated or a search disagreed
+    with the oracle — the report then includes a replay command and the
+    doomed operation's span timeline.
+    """
+    from repro.chaos import ChaosConfig, run_chaos
+
+    report = run_chaos(
+        ChaosConfig(
+            ops=args.ops,
+            seed=args.seed,
+            clients=args.clients,
+            crash_probability=args.crash_probability,
+            verify_consistency=not args.fast,
+        )
+    )
+    print(report.describe())
+    return 0 if report.ok else 2
+
+
 def cmd_info(args) -> int:
     store, lake = _open(args)
     snap = lake.snapshot()
@@ -486,6 +510,23 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, index_dir_required=True)
     p.add_argument("--snapshot-id", type=int, default=None)
     p.set_defaults(func=cmd_vacuum)
+
+    p = sub.add_parser(
+        "chaos",
+        help="crash-fault fuzz the maintenance protocol (in-memory)",
+    )
+    p.add_argument("--ops", type=int, default=200, help="protocol steps")
+    p.add_argument("--seed", type=int, default=0, help="replayable RNG seed")
+    p.add_argument("--clients", type=int, default=3, help="simulated clients")
+    p.add_argument(
+        "--crash-probability", type=float, default=0.6,
+        help="chance each maintenance op gets a crash armed",
+    )
+    p.add_argument(
+        "--fast", action="store_true",
+        help="existence-only invariant audits (skip page-table checks)",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("info", help="table + index summary")
     common(p)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -127,6 +128,7 @@ class RottnestClient:
         *,
         index_timeout_s: float = DEFAULT_INDEX_TIMEOUT_S,
         codec: str = "zlib",
+        key_entropy: Callable[[], bytes] | None = None,
     ) -> None:
         self.store = store
         self.index_dir = index_dir.rstrip("/")
@@ -134,6 +136,10 @@ class RottnestClient:
         self.meta = MetadataTable(store, self.index_dir)
         self.index_timeout_s = index_timeout_s
         self.codec = codec
+        # Salt source for fresh index keys. Injectable so the chaos
+        # fuzzer can make whole protocol histories bit-reproducible
+        # from one seed.
+        self._key_entropy = key_entropy or (lambda: os.urandom(4))
 
     # ------------------------------------------------------------------
     # index (§IV-A): plan -> build -> upload -> commit, with timeout
@@ -260,11 +266,25 @@ class RottnestClient:
         self.meta.insert([record])
         return record
 
-    def new_index_key(self, blob: bytes) -> str:
-        digest = hashlib.sha1(blob).hexdigest()[:10]
+    def new_index_key(self, blob: bytes, *, deterministic: bool = False) -> str:
+        """Object key for a freshly built index blob.
+
+        ``index`` keys are salted: two concurrent indexers of the same
+        snapshot build identical blobs but must commit *distinct*
+        records (the metadata table rejects double-insert of one key),
+        so each gets its own key and vacuum later drops the loser.
+
+        ``deterministic=True`` is content-addressed — same blob, same
+        key — which is what makes compaction idempotent: a crashed run
+        re-executed by a fresh client re-uploads the same bytes to the
+        same key (a harmless overwrite) instead of accreting orphans.
+        """
+        digest = hashlib.sha1(blob).hexdigest()
+        if deterministic:
+            return f"{self.index_dir}/{INDEX_FILES_DIR}/{digest[:20]}.index"
         return (
             f"{self.index_dir}/{INDEX_FILES_DIR}/"
-            f"{digest}-{os.urandom(4).hex()}.index"
+            f"{digest[:10]}-{self._key_entropy().hex()}.index"
         )
 
     def _open_data_file(self, snap: Snapshot, path: str) -> ParquetFile:
@@ -296,6 +316,7 @@ class RottnestClient:
         snapshot: Snapshot | None = None,
         partition: str | None = None,
         file_predicate=None,
+        use_indices: bool = True,
     ) -> SearchResult:
         """Top-K search of ``snapshot`` (defaults to latest).
 
@@ -308,6 +329,11 @@ class RottnestClient:
         structured filters (e.g. a time-range predicate over
         time-partitioned data): cost scales with the fraction of
         partitions touched instead of the whole lake.
+
+        ``use_indices=False`` skips index planning entirely and scans
+        every in-scope file — the degraded mode the serve layer falls
+        back to when an index component read fails mid-query. Results
+        are identical (indices only accelerate), just slower.
         """
         if k < 1:
             raise RottnestIndexError(f"k must be >= 1, got {k}")
@@ -322,7 +348,10 @@ class RottnestClient:
                 self.store.start_trace()
                 snap = snapshot or self.lake.snapshot()
                 snap_paths = self._scope(snap, partition, file_predicate)
-                chosen, uncovered = self._plan(column, query, snap_paths)
+                if use_indices:
+                    chosen, uncovered = self._plan(column, query, snap_paths)
+                else:
+                    chosen, uncovered = [], set(snap_paths)
                 plan_trace = self.store.stop_trace()
                 plan_trace.barrier()  # index queries depend on the plan
                 plan_span.trace = plan_trace

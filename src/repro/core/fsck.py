@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import FormatError, ObjectStoreError
+from repro.errors import FormatError, InvariantViolation, ObjectStoreError
 from repro.core.client import RottnestClient
 from repro.core.index_file import IndexFileReader
 from repro.formats.page_reader import build_page_table
@@ -49,6 +49,7 @@ class FsckReport:
         )
 
     def describe(self) -> str:
+        """Human-readable audit summary, one finding class per line."""
         lines = [
             f"records checked:        {self.records_checked}",
             f"covered files verified: {self.files_verified}",
@@ -119,3 +120,38 @@ def fsck(client: RottnestClient, *, verify_consistency: bool = True) -> FsckRepo
         if info.key not in live_keys:
             report.orphan_index_files.append(info.key)
     return report
+
+
+class InvariantChecker:
+    """Existence/Consistency verdict machine for the chaos harness.
+
+    Thin, purposeful wrapper over :func:`fsck`: where ``fsck`` is an
+    operator tool that *reports*, the checker is an oracle that
+    *asserts* — the chaos fuzzer calls :meth:`assert_holds` after every
+    injected crash, and any surviving violation is a protocol bug by
+    definition (paper §IV-D proves none can exist).
+
+    Always audits through a fresh, un-faulted view of the store: the
+    doomed client is dead, and the invariants are a statement about
+    what *every other* client observes afterwards.
+    """
+
+    def __init__(
+        self, client: RottnestClient, *, verify_consistency: bool = True
+    ) -> None:
+        """Audit ``client``'s deployment; ``verify_consistency=False``
+        checks Existence only (cheaper, for high-frequency fuzzing)."""
+        self.client = client
+        self.verify_consistency = verify_consistency
+
+    def check(self) -> FsckReport:
+        """Run one audit and return the raw findings."""
+        return fsck(self.client, verify_consistency=self.verify_consistency)
+
+    def assert_holds(self) -> FsckReport:
+        """Audit and raise :class:`~repro.errors.InvariantViolation`
+        (carrying the full report text) unless both invariants hold."""
+        report = self.check()
+        if not report.invariants_hold:
+            raise InvariantViolation(report.describe())
+        return report

@@ -5,6 +5,24 @@ Rottnest's LSM-style answer to search latency growing with the number
 of index files (Fig. 13). It never deletes anything; vacuum does, and
 only after its commit, keeping the Existence invariant: everything the
 metadata table references must be physically present.
+
+Both passes are **idempotent and resumable**: a maintenance client may
+die after any single PUT or DELETE, and a fresh client simply re-runs
+the same command to converge on the uninterrupted outcome.
+
+* ``compact`` uploads merged index files under *content-addressed*
+  keys, so a re-run after a mid-upload crash overwrites the same bytes
+  at the same keys instead of accreting orphans, and its final commit
+  skips records the metadata table already holds (a crash between the
+  commit and the caller observing it is therefore harmless too).
+* ``vacuum`` commits the metadata deletes first, then physically
+  removes files one by one; a crash anywhere leaves ``M ⊆ B``
+  (references ⊆ bucket), and a re-run recomputes the remaining
+  deletions from live state — deleting an already-deleted object is an
+  S3 no-op.
+
+``docs/protocol.md`` walks every crash point; the :mod:`repro.chaos`
+harness exercises each one mechanically.
 """
 
 from __future__ import annotations
@@ -83,6 +101,11 @@ def compact_indices(
     type's native merge otherwise. Commit: insert merged records. Old
     records/files stay until :func:`vacuum_indices`, exactly like data
     lake compaction.
+
+    Idempotent and crash-resumable: uploads are content-addressed and
+    the commit skips already-live records, so re-running after a crash
+    at any mutation boundary converges on the uninterrupted outcome
+    (the ``repro chaos`` matrix proves this byte-for-byte).
     """
     with get_tracer().span(
         "compact", column=column, index_type=index_type
@@ -107,6 +130,8 @@ def _compact_indices(
     threshold_bytes: int,
     target_bytes: int,
 ) -> list[IndexRecord]:
+    """Plan, merge, and commit one compaction pass (see
+    :func:`compact_indices` for the public contract)."""
     # Plan over the *covering set* only — the same newest-first greedy
     # search uses. Records subsumed by a newer (e.g. already-compacted)
     # index, or covering no file of the current snapshot, are vacuum
@@ -132,7 +157,14 @@ def _compact_indices(
             continue
         merged_records.append(_merge_group(client, column, index_type, group))
     if merged_records:
-        client.meta.insert(merged_records)
+        # Idempotent commit: a resumed run (or a concurrent compactor
+        # that built the identical merge) may find some records already
+        # live under their content-addressed keys. Re-inserting them
+        # would poison the metadata log, so only the missing ones go in.
+        live = {r.index_key for r in client.meta.records()}
+        fresh = [r for r in merged_records if r.index_key not in live]
+        if fresh:
+            client.meta.insert(fresh)
     return merged_records
 
 
@@ -142,6 +174,13 @@ def _merge_group(
     index_type: str,
     group: list[IndexRecord],
 ) -> IndexRecord:
+    """Merge one bin-packed group into a single uploaded index file.
+
+    The upload key is content-addressed (deterministic), which is the
+    keystone of compaction resumability: every re-run of the same plan
+    produces the same blob at the same key, so crashed prefixes of a
+    run converge to the uninterrupted state byte-for-byte.
+    """
     builder_cls = builder_for(index_type)
     covered: list[str] = []
     for record in group:
@@ -189,7 +228,7 @@ def _merge_group(
     )
     merged.write(writer)
     blob = writer.finish()
-    key = client.new_index_key(blob)
+    key = client.new_index_key(blob, deterministic=True)
     client.store.put(key, blob)
     return IndexRecord(
         index_key=key,
@@ -212,6 +251,10 @@ def vacuum_indices(client: RottnestClient, *, snapshot_id: int) -> VacuumReport:
     the metadata table *and* older than the index timeout — younger
     unreferenced files may belong to an in-flight indexer, which is
     guaranteed to either commit or abort within the timeout.
+
+    Crash-resumable: every intermediate state satisfies ``M ⊆ B``
+    (metadata references a subset of the bucket), and a re-run from a
+    fresh client finishes whatever physical deletions remain.
     """
     with get_tracer().span("vacuum", snapshot_id=snapshot_id) as span:
         report = _vacuum_indices(client, snapshot_id=snapshot_id)
@@ -223,6 +266,8 @@ def vacuum_indices(client: RottnestClient, *, snapshot_id: int) -> VacuumReport:
 
 
 def _vacuum_indices(client: RottnestClient, *, snapshot_id: int) -> VacuumReport:
+    """Plan, commit, and physically apply one vacuum pass (see
+    :func:`vacuum_indices` for the public contract)."""
     active = client.lake.files_since(snapshot_id)
     records = client.meta.records()
 

@@ -40,6 +40,27 @@ class InjectedFault(ObjectStoreError):
     failures (used by tests and the protocol crash-safety suite)."""
 
 
+class SimulatedCrash(ReproError):
+    """A chaos-injected client death: the process "dies" right *after*
+    an object-store mutation durably completed.
+
+    Deliberately **not** an :class:`ObjectStoreError`: retry wrappers
+    and degradation paths must not absorb a simulated crash — the whole
+    point is that nothing downstream of the dead client runs.
+    """
+
+    def __init__(self, op: str, key: str) -> None:
+        super().__init__(f"simulated crash after {op} {key!r}")
+        self.op = op
+        self.key = key
+
+
+class InvariantViolation(ReproError):
+    """The Existence or Consistency invariant (paper §IV-D) failed an
+    audit — raised by the chaos invariant checker, never in normal
+    operation."""
+
+
 class FormatError(ReproError):
     """Malformed file in the columnar format layer."""
 

@@ -120,8 +120,12 @@ def render_timeline(
         )
         shown = span.events[:max_events]
         for event in shown:
+            # Chaos-injected client deaths get a loud marker: on a
+            # doomed run's timeline the crash boundary is the one line
+            # that matters.
+            bullet = "‼" if event.op == "CRASH" else "·"
             lines.append(
-                f"{'  ' * (depth + 1)}· {event.op} {event.key} "
+                f"{'  ' * (depth + 1)}{bullet} {event.op} {event.key} "
                 f"[{event.nbytes} B]"
             )
         if len(span.events) > max_events:

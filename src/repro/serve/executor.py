@@ -145,8 +145,15 @@ class SearchExecutor:
         snapshot: Snapshot | None = None,
         partition: str | None = None,
         file_predicate=None,
+        use_indices: bool = True,
     ) -> SearchResult:
-        """Concurrent equivalent of :meth:`RottnestClient.search`."""
+        """Concurrent equivalent of :meth:`RottnestClient.search`.
+
+        ``use_indices=False`` skips index planning and fans the
+        brute-force scans across the pool — the degraded mode
+        :class:`~repro.serve.server.SearchServer` falls back to when an
+        index component read fails mid-query.
+        """
         if k < 1:
             raise RottnestIndexError(f"k must be >= 1, got {k}")
         client = self.client
@@ -165,7 +172,10 @@ class SearchExecutor:
                 store.start_trace()
                 snap = snapshot or client.lake.snapshot()
                 snap_paths = client._scope(snap, partition, file_predicate)
-                chosen, uncovered = client._plan(column, query, snap_paths)
+                if use_indices:
+                    chosen, uncovered = client._plan(column, query, snap_paths)
+                else:
+                    chosen, uncovered = [], set(snap_paths)
                 plan_trace = store.stop_trace()
                 plan_trace.barrier()
                 plan_span.trace = plan_trace

@@ -26,7 +26,12 @@ from dataclasses import dataclass, field
 from repro.core.client import RottnestClient, SearchResult
 from repro.core.index_file import IndexFileReader
 from repro.core.queries import Query, VectorQuery
-from repro.errors import ServeError, ServerOverloaded
+from repro.errors import (
+    FormatError,
+    ObjectStoreError,
+    ServeError,
+    ServerOverloaded,
+)
 from repro.lake.snapshot import Snapshot
 from repro.lake.table import LakeTable
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S, get_registry
@@ -49,6 +54,10 @@ _LATENCY = get_registry().histogram(
     "Modeled end-to-end query latency",
     buckets=DEFAULT_LATENCY_BUCKETS_S,
 )
+_DEGRADED = get_registry().counter(
+    "serve_degraded_queries_total",
+    "Queries answered by brute-force fallback after an index read failure",
+)
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -66,6 +75,7 @@ class ServeStats:
     queries: int = 0
     rejected: int = 0  # shed by admission control
     deduplicated: int = 0  # served by another query's flight
+    degraded: int = 0  # answered via brute-force fallback
     total_requests: int = 0  # object-store requests across all queries
     latencies_s: list[float] = field(default_factory=list)  # modeled
     cache: CacheStats | None = None
@@ -120,7 +130,8 @@ class ServeStats:
     def describe(self, max_inflight: int | None = None) -> str:
         lines = [
             f"queries served:    {self.queries} "
-            f"({self.deduplicated} deduplicated, {self.rejected} shed)",
+            f"({self.deduplicated} deduplicated, {self.rejected} shed, "
+            f"{self.degraded} degraded)",
             f"requests/query:    {self.requests_per_query:.1f}",
             f"modeled latency:   p50 {self.p50_s * 1000:.1f} ms  "
             f"p90 {self.p90_s * 1000:.1f} ms  p99 {self.p99_s * 1000:.1f} ms",
@@ -257,6 +268,14 @@ class SearchServer:
         With ``shed_on_overload`` the call raises
         :class:`~repro.errors.ServerOverloaded` instead of queueing when
         ``max_inflight`` queries are already running.
+
+        If an index component read fails mid-query (store fault,
+        vacuumed or corrupt index file), the query is transparently
+        re-executed without indices — a brute-force scan returns the
+        identical answer, just slower. Degraded answers are counted in
+        :attr:`ServeStats.degraded` and the
+        ``serve_degraded_queries_total`` metric so operators see an
+        index-health regression as a rate, not an outage.
         """
         if self.shed_on_overload:
             admitted = self._admission.acquire(blocking=False)
@@ -280,13 +299,36 @@ class SearchServer:
             )
             def execute() -> SearchResult:
                 with get_tracer().span("serve.query", column=column, k=k):
-                    return self.executor.search(
-                        column,
-                        query,
-                        k=k,
-                        snapshot=snapshot,
-                        partition=partition,
-                    )
+                    try:
+                        return self.executor.search(
+                            column,
+                            query,
+                            k=k,
+                            snapshot=snapshot,
+                            partition=partition,
+                        )
+                    except (ObjectStoreError, FormatError):
+                        # Graceful degradation: an index component read
+                        # failed (file vacuumed under us, corrupt blob,
+                        # transient store fault). Indices only
+                        # accelerate — the same answer is reachable by
+                        # scanning, so serve it degraded rather than
+                        # failing the query. Data-file losses surface
+                        # as SnapshotNotFound and still propagate.
+                        _DEGRADED.inc()
+                        with self._stats_lock:
+                            self.stats.degraded += 1
+                        with get_tracer().span(
+                            "serve.degraded", column=column, k=k
+                        ):
+                            return self.executor.search(
+                                column,
+                                query,
+                                k=k,
+                                snapshot=snapshot,
+                                partition=partition,
+                                use_indices=False,
+                            )
 
             result, shared = self._flights.do_detailed(flight_key, execute)
             modeled_s = result.stats.estimated_latency(self.latency_model)

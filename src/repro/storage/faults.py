@@ -1,10 +1,24 @@
-"""Fault injection for crash-safety tests.
+"""Fault and crash injection for the protocol chaos suite.
 
-Wraps any :class:`~repro.storage.object_store.ObjectStore` and raises
-:class:`~repro.errors.InjectedFault` when a programmable trigger fires.
-The protocol test-suite uses this to kill indexers *before upload*,
-*before commit*, and compactors/vacuums mid-delete, then checks the
-Existence and Consistency invariants still hold (paper §IV-D).
+Wraps any :class:`~repro.storage.object_store.ObjectStore` and fires a
+programmable trigger on a matching operation. Two trigger modes model
+the two failure families the Rottnest protocol (paper §IV-D) must
+survive:
+
+* ``"fault"`` — raise :class:`~repro.errors.InjectedFault` *before*
+  the operation reaches the inner store. Models an infrastructure
+  failure (request lost, 500, network partition): the operation has no
+  effect, matching S3's atomic-PUT semantics.
+* ``"crash_after"`` — let the operation complete against the inner
+  store, then raise :class:`~repro.errors.SimulatedCrash`. Models the
+  client process dying between protocol steps: the mutation is durable,
+  everything the client would have done next never happens.
+
+``crash_after`` on the Nth matching PUT/DELETE is the primitive the
+:mod:`repro.chaos` harness uses to kill maintenance runs at every
+mutation boundary and then audit the Existence/Consistency invariants.
+Rules fire deterministically (an explicit countdown, one-shot), so a
+crash schedule is fully reproducible from a fuzzer seed.
 """
 
 from __future__ import annotations
@@ -13,13 +27,29 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import InjectedFault
+from repro.errors import InjectedFault, SimulatedCrash
+from repro.obs.trace import get_tracer
 from repro.storage.object_store import ObjectInfo, ObjectStore
+
+#: Pseudo-operation matching any store mutation (PUT or DELETE) — the
+#: operations that move protocol state and therefore the only crash
+#: boundaries worth enumerating.
+MUTATION_OPS = ("PUT", "DELETE")
 
 
 @dataclass
 class FaultRule:
     """Fires on the ``countdown``-th matching operation (0 = next one).
+
+    ``op`` names one operation (``"PUT"``, ``"GET"``, ``"DELETE"``,
+    ``"LIST"``, ``"HEAD"``), ``"*"`` for any, or ``"MUTATE"`` for any
+    mutation (PUT or DELETE). Matching is case-insensitive: callers
+    historically passed mixed case (``"put"``, ``"Delete"``) and a rule
+    that silently never fires is the worst kind of test bug.
+
+    ``mode`` selects what firing does: ``"fault"`` raises before the
+    inner operation runs, ``"crash_after"`` raises after it completed
+    (see the module docstring for the semantics of each).
 
     Thread-safe: faulty stores sit under the serve executor's worker
     pool, where concurrent operations race on the countdown. The
@@ -27,17 +57,37 @@ class FaultRule:
     operation observes the trigger.
     """
 
-    op: str  # "PUT" | "GET" | "DELETE" | "LIST" | "HEAD" | "*"
+    op: str  # "PUT" | "GET" | "DELETE" | "LIST" | "HEAD" | "*" | "MUTATE"
     key_predicate: Callable[[str], bool] = lambda key: True
     countdown: int = 0
+    mode: str = "fault"  # "fault" | "crash_after"
     fired: bool = field(default=False, init=False)
+    #: Set when the rule fires: the (op, key) it triggered on.
+    fired_on: tuple[str, str] | None = field(default=None, init=False)
 
     def __post_init__(self) -> None:
+        """Normalize the operation name and validate the mode."""
+        self.op = self.op.upper()
+        if self.mode not in ("fault", "crash_after"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.mode == "crash_after" and self.op not in (*MUTATION_OPS, "MUTATE"):
+            raise ValueError(
+                f"crash_after only makes sense on mutations, got {self.op!r}"
+            )
         self._lock = threading.Lock()
 
+    def _op_matches(self, op: str) -> bool:
+        """Whether ``op`` (canonical upper-case) is in this rule's scope."""
+        if self.op == "*":
+            return True
+        if self.op == "MUTATE":
+            return op in MUTATION_OPS
+        return self.op == op
+
     def matches(self, op: str, key: str) -> bool:
+        """Decide (and consume) whether this rule fires on ``op``/``key``."""
         # Predicate checks are read-only and can stay outside the lock.
-        if self.op != "*" and self.op != op:
+        if not self._op_matches(op.upper()):
             return False
         if not self.key_predicate(key):
             return False
@@ -48,19 +98,22 @@ class FaultRule:
                 self.countdown -= 1
                 return False
             self.fired = True
+            self.fired_on = (op.upper(), key)
             return True
 
 
 class FaultyObjectStore(ObjectStore):
     """Pass-through store that raises on matching operations.
 
-    The fault fires *before* the operation reaches the inner store, so a
-    failed PUT leaves no partial object — matching S3's atomic-PUT
-    semantics. Crash-after-upload scenarios are expressed by triggering
-    on the *next* operation instead.
+    ``"fault"`` rules fire *before* the operation reaches the inner
+    store, so a failed PUT leaves no partial object — matching S3's
+    atomic-PUT semantics. ``"crash_after"`` rules fire *after* the
+    inner store applied the mutation, leaving it durable — the
+    crash-between-protocol-steps scenario the §IV-D proofs are about.
     """
 
     def __init__(self, inner: ObjectStore) -> None:
+        """Wrap ``inner``; IO accounting is shared so stats stay unified."""
         super().__init__(inner.clock)
         self.inner = inner
         self.rules: list[FaultRule] = []
@@ -68,8 +121,13 @@ class FaultyObjectStore(ObjectStore):
         self.stats = inner.stats
 
     def add_rule(self, rule: FaultRule) -> FaultRule:
+        """Install ``rule``; returns it for later inspection."""
         self.rules.append(rule)
         return rule
+
+    def clear_rules(self) -> None:
+        """Drop every installed rule (fired or not)."""
+        self.rules.clear()
 
     def fail_next(
         self,
@@ -77,8 +135,8 @@ class FaultyObjectStore(ObjectStore):
         key_substring: str = "",
         countdown: int = 0,
     ) -> FaultRule:
-        """Convenience: fail the next (or countdown-th) op whose key
-        contains ``key_substring``."""
+        """Fail the next (or countdown-th) op whose key contains
+        ``key_substring``, before it takes effect."""
         return self.add_rule(
             FaultRule(
                 op=op,
@@ -87,38 +145,81 @@ class FaultyObjectStore(ObjectStore):
             )
         )
 
-    def _check(self, op: str, key: str) -> None:
+    def crash_after(
+        self,
+        op: str = "MUTATE",
+        key_substring: str = "",
+        countdown: int = 0,
+    ) -> FaultRule:
+        """Simulate the client dying right after the ``countdown``-th
+        matching mutation completes.
+
+        The default ``op="MUTATE"`` crashes at the Nth PUT-or-DELETE
+        boundary, which is how the chaos harness enumerates every crash
+        point of a maintenance run.
+        """
+        return self.add_rule(
+            FaultRule(
+                op=op,
+                key_predicate=lambda key: key_substring in key,
+                countdown=countdown,
+                mode="crash_after",
+            )
+        )
+
+    def _check_before(self, op: str, key: str) -> None:
+        """Raise :class:`InjectedFault` if a ``"fault"`` rule fires."""
         for rule in self.rules:
-            if rule.matches(op, key):
+            if rule.mode == "fault" and rule.matches(op, key):
                 raise InjectedFault(f"injected fault on {op} {key!r}")
+
+    def _check_after(self, op: str, key: str) -> None:
+        """Raise :class:`SimulatedCrash` if a ``"crash_after"`` rule fires."""
+        for rule in self.rules:
+            if rule.mode == "crash_after" and rule.matches(op, key):
+                # Leave a mark on the active span so the chaos timeline
+                # shows exactly where the client died.
+                get_tracer().record_event("CRASH", f"{op} {key}", 0)
+                raise SimulatedCrash(op, key)
 
     # -- delegated operations ----------------------------------------
     def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
-        self._check("PUT", key)
-        return self.inner.put(key, data, if_none_match=if_none_match)
+        """PUT through the fault rules (crash-after fires post-write)."""
+        self._check_before("PUT", key)
+        info = self.inner.put(key, data, if_none_match=if_none_match)
+        self._check_after("PUT", key)
+        return info
 
     def get(self, key: str, byte_range: tuple[int, int] | None = None) -> bytes:
-        self._check("GET", key)
+        """GET through the fault rules."""
+        self._check_before("GET", key)
         return self.inner.get(key, byte_range)
 
     def head(self, key: str) -> ObjectInfo:
-        self._check("HEAD", key)
+        """HEAD through the fault rules."""
+        self._check_before("HEAD", key)
         return self.inner.head(key)
 
     def list(self, prefix: str = "") -> list[ObjectInfo]:
-        self._check("LIST", prefix)
+        """LIST through the fault rules."""
+        self._check_before("LIST", prefix)
         return self.inner.list(prefix)
 
     def delete(self, key: str) -> None:
-        self._check("DELETE", key)
+        """DELETE through the fault rules (crash-after fires post-delete)."""
+        self._check_before("DELETE", key)
         self.inner.delete(key)
+        self._check_after("DELETE", key)
 
     # -- tracing is delegated so index code sees one trace ------------
     def start_trace(self):
+        """Delegate trace start to the inner store."""
         return self.inner.start_trace()
 
     def stop_trace(self):
+        """Delegate trace stop to the inner store."""
         return self.inner.stop_trace()
 
     def barrier(self) -> None:
+        """Delegate the trace barrier to the inner store."""
         self.inner.barrier()

@@ -205,6 +205,30 @@ class InMemoryObjectStore(ObjectStore):
             self._objects.pop(key, None)
 
     # -- test/introspection helpers ----------------------------------
+    def clone(self) -> "InMemoryObjectStore":
+        """Independent copy of the current contents (not billed).
+
+        The clone gets its own :class:`SimClock` frozen at this store's
+        current time (a shared clock otherwise lets one timeline's
+        advances leak into another), its own stats, and no traces. The
+        chaos harness uses clones to replay one maintenance run many
+        times, crashing it at a different mutation boundary each time.
+        """
+        with self._lock:
+            other = InMemoryObjectStore(clock=SimClock(start=self.clock.now()))
+            other._objects = dict(self._objects)
+            return other
+
+    def dump(self) -> dict[str, bytes]:
+        """Full ``{key: bytes}`` image of the store (not billed).
+
+        Timestamps are deliberately excluded: two protocol histories
+        are considered equivalent when they leave the same objects with
+        the same bytes, regardless of when each landed.
+        """
+        with self._lock:
+            return {k: d for k, (d, _) in self._objects.items()}
+
     def keys(self) -> list[str]:
         """All keys currently stored (not a billed operation)."""
         with self._lock:

@@ -9,6 +9,8 @@ import pytest
 
 from repro.core.client import RottnestClient
 from repro.core.queries import UuidQuery
+from repro.errors import SimulatedCrash
+from repro.storage.faults import FaultyObjectStore
 from repro.errors import ServeError, ServerOverloaded
 from repro.lake.table import LakeTable
 from repro.serve import CachingObjectStore, SearchServer, ServeStats, SingleFlight
@@ -288,3 +290,62 @@ class TestSearchServer:
     def test_invalid_max_inflight(self, indexed_client):
         with pytest.raises(ServeError):
             SearchServer(indexed_client, max_inflight=0)
+
+
+class TestDegradedServing:
+    """Brute-force fallback when an index component read fails mid-query."""
+
+    def _faulty_server(self, indexed_client):
+        faulty = FaultyObjectStore(indexed_client.store)
+        lake = LakeTable.open(faulty, indexed_client.lake.root)
+        client = RottnestClient(faulty, indexed_client.index_dir, lake)
+        return faulty, SearchServer(client, max_searchers=2)
+
+    def test_index_read_failure_degrades_to_identical_answer(
+        self, indexed_client
+    ):
+        faulty, server = self._faulty_server(indexed_client)
+        query = UuidQuery(event_uuid(1, 5))
+        with server:
+            clean = server.query("uuid", query, k=3)
+            assert server.stats.degraded == 0
+            faulty.fail_next("GET", ".index")
+            degraded = server.query("uuid", query, k=3)
+            assert server.stats.degraded == 1
+            assert [(m.file, m.row, bytes(m.value)) for m in degraded.matches] \
+                == [(m.file, m.row, bytes(m.value)) for m in clean.matches]
+            # Degraded mode planned no indices: pure scan.
+            assert degraded.stats.index_files_queried == 0
+            assert degraded.stats.files_brute_forced > 0
+
+    def test_degraded_queries_counted_per_failure_not_forever(
+        self, indexed_client
+    ):
+        faulty, server = self._faulty_server(indexed_client)
+        query = UuidQuery(event_uuid(2, 17))
+        with server:
+            faulty.fail_next("GET", ".index")
+            server.query("uuid", query, k=2)
+            assert server.stats.degraded == 1
+            # The fault was one-shot: the next query is served normally.
+            healthy = server.query("uuid", query, k=2)
+            assert server.stats.degraded == 1
+            assert healthy.stats.index_files_queried > 0
+
+    def test_simulated_crash_is_not_masked_as_degradation(
+        self, indexed_client
+    ):
+        """SimulatedCrash is a chaos-harness signal, not a store fault;
+        the serve layer must let it out instead of retrying around it."""
+        faulty, server = self._faulty_server(indexed_client)
+        with server:
+            # Searches never mutate, so hit the one GET-adjacent seam we
+            # can: a crash_after rule on mutations plus an index() call
+            # through the same store (sanity that the exception escapes
+            # wrapper layers unchanged).
+            faulty.crash_after("PUT")
+            with pytest.raises(SimulatedCrash):
+                # "bloom" on uuid is the one index the fixture hasn't
+                # built yet, so this actually uploads (and crashes).
+                server.client.index("uuid", "bloom")
+            assert server.stats.degraded == 0
