@@ -1,0 +1,88 @@
+"""Maintenance benchmark: the parallel pipeline vs the serial loop.
+
+Two measurements over the shared :mod:`repro.maintain.bench` scenario:
+
+* **index scaling** — one ``index`` call covering a 40-file lake at
+  workers 1/2/4 on byte-identical clones. Per-file page extraction is
+  the fanned phase; plan and commit stay serial, so the modeled
+  end-to-end speedup at 4 workers lands around 2.4x (gated >= 2x).
+* **compact scaling** — 6 independent two-file merge groups at the
+  same widths. The merge phase scales ~linearly with the pool; the
+  end-to-end number is Amdahl-limited by the serial plan + commit,
+  and both are reported so the regression gate pins each.
+
+Latencies are *modeled* from request traces (round trips under
+``LatencyModel``), not wall-clock — see ``repro/maintain/bench.py``.
+"""
+
+from __future__ import annotations
+
+from repro.maintain.bench import run_maintain_bench
+
+from benchmarks.common import write_bench, write_result
+
+WORKERS = (1, 2, 4)
+
+
+def test_maintain_scaling(benchmark):
+    """Index >=2x at 4 workers; compact merge phase scales too."""
+    result = benchmark.pedantic(
+        lambda: run_maintain_bench(workers=WORKERS), rounds=1, iterations=1
+    )
+    text = result.describe()
+    print(text)
+    write_result("maintenance_scaling.txt", text)
+    write_bench(
+        "maintenance",
+        "index_scaling",
+        params={
+            "files": result.files,
+            "rows": result.rows,
+            "workers": list(WORKERS),
+        },
+        metrics={
+            **{
+                f"index_modeled_ms_{w}_workers": result.index_modeled_ms[w]
+                for w in WORKERS
+            },
+            "index_speedup_4x": result.index_speedup(4),
+            "index_worker_tasks": result.index_worker_tasks[4],
+        },
+    )
+    write_bench(
+        "maintenance",
+        "compact_scaling",
+        params={"merge_groups": result.compact_groups,
+                "workers": list(WORKERS)},
+        metrics={
+            **{
+                f"compact_modeled_ms_{w}_workers": result.compact_modeled_ms[w]
+                for w in WORKERS
+            },
+            **{
+                f"compact_merge_ms_{w}_workers": result.compact_merge_ms[w]
+                for w in WORKERS
+            },
+            "compact_speedup_4x": result.compact_speedup(4),
+            "compact_merge_speedup_4x": result.merge_speedup(4),
+        },
+    )
+    # Acceptance: the tentpole's >=2x modeled index-build speedup at
+    # 4 workers, monotone scaling, and identical fan-out either way.
+    assert result.index_speedup(4) >= 2.0
+    assert result.index_speedup(2) > 1.0
+    assert (
+        result.index_modeled_ms[4]
+        < result.index_modeled_ms[2]
+        < result.index_modeled_ms[1]
+    )
+    assert (
+        result.index_worker_tasks[1]
+        == result.index_worker_tasks[4]
+        == result.files
+    )
+    # Compact: the merge phase itself must scale even though the
+    # end-to-end number is Amdahl-limited by plan + commit.
+    assert result.compact_groups >= 2
+    assert result.merge_speedup(4) >= 2.0
+    assert result.compact_speedup(4) > 1.0

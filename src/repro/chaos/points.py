@@ -40,7 +40,10 @@ CRASH_POINTS: dict[str, str] = {
         "A merged index file uploaded, commit never happened. Same "
         "orphan story as index:put-index-file — and because merged "
         "keys are content-addressed, the re-run overwrites the same "
-        "key with the same bytes instead of stacking orphans."
+        "key with the same bytes instead of stacking orphans. The "
+        "parallel compactor reaches this same boundary from worker "
+        "threads: sibling uploads in flight at the crash land as "
+        "orphans at the keys the recovery re-uploads anyway."
     ),
     "compact:put-meta-commit": (
         "Merged records committed; old records stay until vacuum, "

@@ -369,6 +369,25 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 2
 
 
+def cmd_maintain_bench(args) -> int:
+    """Modeled scaling of the parallel maintenance pipeline.
+
+    Runs entirely in memory against a simulated clock (no ``--root``):
+    every worker count replays the same maintenance history on a clone
+    of one store, and the printed latencies are modeled from the
+    request traces. Exit 0 when the widest run clears the 2x modeled
+    index speedup the pipeline is built for, 2 otherwise.
+    """
+    from repro.maintain.bench import run_maintain_bench
+
+    workers = sorted(set(args.workers) | {1})
+    result = run_maintain_bench(
+        files=args.files, rows=args.rows, workers=tuple(workers)
+    )
+    print(result.describe())
+    return 0 if result.index_speedup(max(workers)) >= 2.0 else 2
+
+
 def cmd_info(args) -> int:
     store, lake = _open(args)
     snap = lake.snapshot()
@@ -527,6 +546,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="existence-only invariant audits (skip page-table checks)",
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "maintain-bench",
+        help="modeled scaling of parallel index build + compaction "
+        "(in-memory)",
+    )
+    p.add_argument(
+        "--files", type=int, default=40, help="lake files to index"
+    )
+    p.add_argument("--rows", type=int, default=32, help="rows per file")
+    p.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2, 4],
+        help="worker counts to compare (1 is always included)",
+    )
+    p.set_defaults(func=cmd_maintain_bench)
 
     p = sub.add_parser("info", help="table + index summary")
     common(p)

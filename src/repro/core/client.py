@@ -39,6 +39,7 @@ from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 from repro.storage.latency import LatencyModel
 from repro.storage.object_store import ObjectStore
+from repro.storage.pool import TracedPool
 from repro.storage.stats import RequestTrace
 
 INDEX_FILES_DIR = "files"
@@ -151,6 +152,8 @@ class RottnestClient:
         *,
         snapshot: Snapshot | None = None,
         params: dict | None = None,
+        workers: int = 1,
+        pool: "TracedPool | None" = None,
     ) -> IndexRecord | None:
         """Bring the index on ``column`` up to date with ``snapshot``.
 
@@ -160,6 +163,12 @@ class RottnestClient:
         index. Raises :class:`IndexAborted` on timeout, on inputs that
         vanish mid-build (e.g. a concurrent lake vacuum), or when the
         new data is below the index type's minimum size.
+
+        ``workers > 1`` (or an injected ``pool``) fans the per-file
+        page-value extraction across a bounded worker pool; the index
+        structure itself is still built and committed on the calling
+        thread, so the committed bytes and metadata are identical to
+        the serial run regardless of worker count.
         """
         with get_tracer().span(
             "index", column=column, index_type=index_type
@@ -167,7 +176,12 @@ class RottnestClient:
             before = self.store.stats.snapshot()
             try:
                 record = self._index(
-                    column, index_type, snapshot=snapshot, params=params
+                    column,
+                    index_type,
+                    snapshot=snapshot,
+                    params=params,
+                    workers=workers,
+                    pool=pool,
                 )
             except IndexAborted:
                 _INDEX_BUILDS.inc(outcome="aborted")
@@ -197,14 +211,26 @@ class RottnestClient:
         *,
         snapshot: Snapshot | None = None,
         params: dict | None = None,
+        workers: int = 1,
+        pool: "TracedPool | None" = None,
     ) -> IndexRecord | None:
-        snap = snapshot or self.lake.snapshot()
+        tracer = get_tracer()
         started = self.store.clock.now()
         builder_cls = builder_for(index_type)
 
         # Plan: new data files only (deletion vectors are never
-        # indexed); coverage is per (column, index type).
-        already = self.meta.indexed_files(column, index_type)
+        # indexed); coverage is per (column, index type). Metadata and
+        # manifest reads are inherently sequential round trips, so the
+        # plan phase always runs on the calling thread.
+        with tracer.span("index.plan", phase="plan") as plan_span:
+            self.store.start_trace()
+            try:
+                snap = snapshot or self.lake.snapshot()
+                already = self.meta.indexed_files(column, index_type)
+            finally:
+                plan_trace = self.store.stop_trace()
+            plan_trace.barrier()
+            plan_span.trace = plan_trace
         new_files = [f for f in snap.files if f.path not in already]
         if not new_files:
             return None
@@ -215,21 +241,57 @@ class RottnestClient:
                 f"{index_type!r}; leave them to brute-force scanning"
             )
 
-        # Build: page tables + the index structure itself.
+        # Extract: page tables + page values, one task per input file.
+        # Workers only *read*; results are reassembled in snapshot file
+        # order with sequentially renumbered page gids, so the page
+        # stream — and hence the built index — is byte-identical to the
+        # serial loop no matter how tasks interleave.
+        with tracer.span(
+            "index.extract", phase="extract", files=len(new_files)
+        ) as extract_span:
+            if pool is not None:
+                extract_trace, extracted = pool.run(
+                    [
+                        lambda e=entry: self._extract_file(e, column)
+                        for entry in new_files
+                    ],
+                    span_name="indexer:task",
+                )
+            elif workers > 1:
+                with TracedPool(
+                    self.store,
+                    workers=workers,
+                    thread_name_prefix="indexer",
+                    span_name="indexer:task",
+                ) as scratch:
+                    extract_trace, extracted = scratch.run(
+                        [
+                            lambda e=entry: self._extract_file(e, column)
+                            for entry in new_files
+                        ]
+                    )
+            else:
+                # Serial loop: one blocking extraction at a time, so
+                # per-file traces compose sequentially — the same shape
+                # a one-worker pool records.
+                extract_trace = RequestTrace()
+                extracted = []
+                for entry in new_files:
+                    self.store.start_trace()
+                    try:
+                        extracted.append(self._extract_file(entry, column))
+                    finally:
+                        extract_trace = extract_trace.then(
+                            self.store.stop_trace()
+                        )
+            extract_span.trace = extract_trace
+
         tables: list[PageTable] = []
         page_stream: list[tuple[int, list]] = []
         gid = 0
-        for entry in new_files:
-            try:
-                reader = ParquetFile(self.store, entry.path)
-            except ObjectStoreError as exc:
-                raise IndexAborted(
-                    f"input file {entry.path!r} disappeared during indexing; "
-                    f"retry against a newer snapshot"
-                ) from exc
-            table = build_page_table(reader.metadata, entry.path, column)
+        for table, page_values in extracted:
             tables.append(table)
-            for values in _iter_page_values(reader, table, column):
+            for values in page_values:
                 page_stream.append((gid, values))
                 gid += 1
         builder = builder_cls.build(page_stream, **(params or {}))
@@ -247,24 +309,53 @@ class RottnestClient:
         # that overruns must abort so vacuum's age-based GC stays sound.
         self._check_timeout(started, "before upload")
 
-        key = self.new_index_key(blob)
-        self.store.put(key, blob)
+        # Commit (transactional insert into the metadata table) stays
+        # single-threaded whatever the worker count — the Existence
+        # invariant needs the index-file PUT durable before its record,
+        # and the metadata log is one conditional-PUT stream anyway.
+        with tracer.span("index.commit", phase="commit") as commit_span:
+            self.store.start_trace()
+            try:
+                key = self.new_index_key(blob)
+                self.store.put(key, blob)
 
-        # Commit (transactional insert into the metadata table). A crash
-        # between upload and here leaves an orphan index file, cleaned
-        # up by vacuum once it is older than the timeout.
-        self._check_timeout(started, "before commit")
-        record = IndexRecord(
-            index_key=key,
-            index_type=index_type,
-            column=column,
-            covered_files=tuple(f.path for f in new_files),
-            num_rows=total_rows,
-            size=len(blob),
-            created_at=self.store.clock.now(),
-        )
-        self.meta.insert([record])
+                # A crash between upload and here leaves an orphan index
+                # file, cleaned up by vacuum once it is older than the
+                # timeout.
+                self._check_timeout(started, "before commit")
+                record = IndexRecord(
+                    index_key=key,
+                    index_type=index_type,
+                    column=column,
+                    covered_files=tuple(f.path for f in new_files),
+                    num_rows=total_rows,
+                    size=len(blob),
+                    created_at=self.store.clock.now(),
+                )
+                self.meta.insert([record])
+            finally:
+                commit_trace = self.store.stop_trace()
+            commit_span.trace = commit_trace
         return record
+
+    def _extract_file(
+        self, entry, column: str
+    ) -> tuple[PageTable, list[list]]:
+        """Read one Parquet file's page table + page values for indexing.
+
+        Pure read work — safe to run on a pool thread. Raises
+        :class:`IndexAborted` when the input vanished mid-build (e.g. a
+        concurrent lake vacuum), exactly like the serial loop did.
+        """
+        try:
+            reader = ParquetFile(self.store, entry.path)
+        except ObjectStoreError as exc:
+            raise IndexAborted(
+                f"input file {entry.path!r} disappeared during indexing; "
+                f"retry against a newer snapshot"
+            ) from exc
+        table = build_page_table(reader.metadata, entry.path, column)
+        return table, list(_iter_page_values(reader, table, column))
 
     def new_index_key(self, blob: bytes, *, deterministic: bool = False) -> str:
         """Object key for a freshly built index blob.
@@ -776,6 +867,9 @@ def _iter_page_values(reader: ParquetFile, table: PageTable, column: str):
     """
     all_values: list = []
     vector_chunks: list[np.ndarray] = []
+    # Chunk reads depend on the footer fetched at open: a dependent
+    # round in the trace (chunks themselves fan out within the round).
+    reader.store.barrier()
     for rg_index in range(len(reader.metadata.row_groups)):
         values = reader.read_column_chunk(rg_index, column)
         if isinstance(values, np.ndarray):

@@ -26,6 +26,7 @@ from repro.core.maintenance import (
 from repro.meta.metadata_table import IndexRecord
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
+from repro.storage.pool import IOBudget, TracedPool
 
 _TICKS = get_registry().counter(
     "daemon_ticks_total", "Maintenance daemon ticks by outcome", ("outcome",)
@@ -86,12 +87,40 @@ class MaintenanceDaemon:
         *,
         policy: MaintenancePolicy | None = None,
         index_params: dict[tuple[str, str], dict] | None = None,
+        workers: int = 1,
+        budget: "IOBudget | None" = None,
     ) -> None:
         self.client = client
         self.targets = list(targets)
         self.policy = policy or MaintenancePolicy()
         self.index_params = dict(index_params or {})
         self._last_vacuum: float | None = None
+        # ``workers > 1`` (or a shared IO budget) routes index/compact
+        # through a TracedPool so maintenance ticks can overlap live
+        # serving: the budget caps the combined in-flight store tasks
+        # of this pool and any query executor sharing it.
+        self.workers = workers
+        self.budget = budget
+        self._pool: "TracedPool | None" = None
+        if workers > 1 or budget is not None:
+            self._pool = TracedPool(
+                client.store,
+                workers=workers,
+                thread_name_prefix="maintainer",
+                span_name="maintainer:task",
+                budget=budget,
+            )
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial daemons)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "MaintenanceDaemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- due? ---------------------------------------------------------
     def index_due(self, column: str, index_type: str) -> bool:
@@ -133,6 +162,7 @@ class MaintenanceDaemon:
                             column,
                             index_type,
                             params=self.index_params.get((column, index_type)),
+                            pool=self._pool,
                         )
                     except IndexAborted as exc:
                         report.index_aborts.append(f"{column}/{index_type}: {exc}")
@@ -147,6 +177,7 @@ class MaintenanceDaemon:
                         column,
                         index_type,
                         threshold_bytes=self.policy.compact_threshold_bytes,
+                        pool=self._pool,
                     )
                     report.compacted.extend(compacted)
                     if compacted:

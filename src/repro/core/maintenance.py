@@ -38,6 +38,8 @@ from repro.indices.base import builder_for
 from repro.meta.metadata_table import IndexRecord
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
+from repro.storage.pool import TracedPool
+from repro.storage.stats import RequestTrace
 
 DEFAULT_COMPACT_THRESHOLD_BYTES = 16 * 1024 * 1024
 DEFAULT_COMPACT_TARGET_BYTES = 256 * 1024 * 1024
@@ -91,6 +93,8 @@ def compact_indices(
     *,
     threshold_bytes: int = DEFAULT_COMPACT_THRESHOLD_BYTES,
     target_bytes: int = DEFAULT_COMPACT_TARGET_BYTES,
+    workers: int = 1,
+    pool: TracedPool | None = None,
 ) -> list[IndexRecord]:
     """Merge small index files on ``column`` into larger ones.
 
@@ -101,6 +105,13 @@ def compact_indices(
     type's native merge otherwise. Commit: insert merged records. Old
     records/files stay until :func:`vacuum_indices`, exactly like data
     lake compaction.
+
+    ``workers > 1`` (or an injected ``pool``) merges independent
+    bin-packed groups concurrently. Groups never overlap (each covers a
+    disjoint record set), merged uploads are content-addressed, and the
+    final metadata commit is a single insert on the calling thread, so
+    the committed state is byte-identical to the serial pass for any
+    worker count.
 
     Idempotent and crash-resumable: uploads are content-addressed and
     the commit skips already-live records, so re-running after a crash
@@ -116,6 +127,8 @@ def compact_indices(
             index_type,
             threshold_bytes=threshold_bytes,
             target_bytes=target_bytes,
+            workers=workers,
+            pool=pool,
         )
         span.set("merged_files", len(merged_records))
         _MAINTENANCE.inc(op="compact")
@@ -129,15 +142,25 @@ def _compact_indices(
     *,
     threshold_bytes: int,
     target_bytes: int,
+    workers: int = 1,
+    pool: TracedPool | None = None,
 ) -> list[IndexRecord]:
     """Plan, merge, and commit one compaction pass (see
     :func:`compact_indices` for the public contract)."""
+    tracer = get_tracer()
     # Plan over the *covering set* only — the same newest-first greedy
     # search uses. Records subsumed by a newer (e.g. already-compacted)
     # index, or covering no file of the current snapshot, are vacuum
     # fodder and must not be re-merged: that would produce an index
     # covering the same Parquet file twice.
-    covering = covering_records(client, column, index_type)
+    with tracer.span("compact.plan", phase="plan") as plan_span:
+        client.store.start_trace()
+        try:
+            covering = covering_records(client, column, index_type)
+        finally:
+            plan_trace = client.store.stop_trace()
+        plan_trace.barrier()
+        plan_span.trace = plan_trace
     records = [r for r in covering if r.size < threshold_bytes]
     if len(records) < 2:
         return []
@@ -150,21 +173,74 @@ def _compact_indices(
             group_bytes = 0
         groups[-1].append(record)
         group_bytes += record.size
+    mergeable = [group for group in groups if len(group) >= 2]
 
-    merged_records: list[IndexRecord] = []
-    for group in groups:
-        if len(group) < 2:
-            continue
-        merged_records.append(_merge_group(client, column, index_type, group))
+    # Merge: groups are independent (disjoint records, disjoint covered
+    # files), so they fan across workers; uploads inside are content-
+    # addressed, making completion order irrelevant to the final state.
+    with tracer.span(
+        "compact.merge", phase="merge", groups=len(mergeable)
+    ) as merge_span:
+        if not mergeable:
+            merged_records = []
+        elif pool is not None:
+            merge_trace, merged_records = pool.run(
+                [
+                    lambda g=group: _merge_group(client, column, index_type, g)
+                    for group in mergeable
+                ],
+                span_name="compactor:task",
+            )
+            merge_span.trace = merge_trace
+        elif workers > 1:
+            with TracedPool(
+                client.store,
+                workers=workers,
+                thread_name_prefix="compactor",
+                span_name="compactor:task",
+            ) as scratch:
+                merge_trace, merged_records = scratch.run(
+                    [
+                        lambda g=group: _merge_group(
+                            client, column, index_type, g
+                        )
+                        for group in mergeable
+                    ]
+                )
+            merge_span.trace = merge_trace
+        else:
+            # Serial loop: one blocking merge at a time, so per-group
+            # traces compose sequentially — the same shape a one-worker
+            # pool records.
+            merge_trace = RequestTrace()
+            merged_records = []
+            for group in mergeable:
+                client.store.start_trace()
+                try:
+                    merged_records.append(
+                        _merge_group(client, column, index_type, group)
+                    )
+                finally:
+                    merge_trace = merge_trace.then(client.store.stop_trace())
+            merge_span.trace = merge_trace
     if merged_records:
         # Idempotent commit: a resumed run (or a concurrent compactor
         # that built the identical merge) may find some records already
         # live under their content-addressed keys. Re-inserting them
         # would poison the metadata log, so only the missing ones go in.
-        live = {r.index_key for r in client.meta.records()}
-        fresh = [r for r in merged_records if r.index_key not in live]
-        if fresh:
-            client.meta.insert(fresh)
+        # Single-threaded whatever the worker count — the metadata log
+        # is one conditional-PUT stream.
+        with tracer.span("compact.commit", phase="commit") as commit_span:
+            client.store.start_trace()
+            try:
+                live = {r.index_key for r in client.meta.records()}
+                fresh = [
+                    r for r in merged_records if r.index_key not in live
+                ]
+                if fresh:
+                    client.meta.insert(fresh)
+            finally:
+                commit_span.trace = client.store.stop_trace()
     return merged_records
 
 
@@ -190,6 +266,12 @@ def _merge_group(
             "compaction group covers a Parquet file twice; vacuum first"
         )
 
+    # The merged file must answer queries tuned for the originals
+    # (e.g. an ivf_pq probed with nprobe == its nlist), so the build
+    # params recorded in the first part's header carry over — a raw
+    # rebuild with defaults would silently change the index geometry.
+    params = IndexFileReader.open(client.store, group[0].index_key).params
+
     raw_ok = getattr(builder_cls, "prefers_raw_rebuild", False) and all(
         client.store.exists(path) for path in covered
     )
@@ -205,26 +287,31 @@ def _merge_group(
             for values in _iter_page_values(reader, table, column):
                 page_stream.append((gid, values))
                 gid += 1
-        merged = builder_cls.build(page_stream)
+        merged = builder_cls.build(page_stream, **params)
         directory = PageDirectory(tables)
     else:
-        # Native merge from the index files alone.
-        parts = []
-        directories = []
-        for record in group:
-            reader = IndexFileReader.open(client.store, record.index_key)
-            parts.append(builder_cls.load(reader))
-            directories.append(reader.directory)
+        # Native merge from the index files alone. Opening a reader
+        # fetches only the footer (directory + params); the heavy
+        # component downloads happen inside ``load``, which the lazy
+        # generator defers so a streaming-capable type holds at most
+        # the running merge plus one fully-loaded part in memory.
+        readers = [
+            IndexFileReader.open(client.store, record.index_key)
+            for record in group
+        ]
+        directories = [reader.directory for reader in readers]
         offsets = []
         base = 0
         for directory in directories:
             offsets.append(base)
             base += directory.num_pages
-        merged = builder_cls.merge(parts, offsets)
+        merged = builder_cls.merge_streaming(
+            (builder_cls.load(reader) for reader in readers), offsets
+        )
         directory = PageDirectory.concat(directories)
 
     writer = IndexFileWriter(
-        index_type, column, directory, codec=client.codec
+        index_type, column, directory, params=params, codec=client.codec
     )
     merged.write(writer)
     blob = writer.finish()

@@ -63,6 +63,25 @@ class IndexBuilder(ABC):
         """Merge several indices; part ``i``'s global page ids shift up
         by ``gid_offsets[i]`` in the merged index."""
 
+    @classmethod
+    def merge_streaming(
+        cls, parts: Iterable["IndexBuilder"], gid_offsets: list[int]
+    ) -> "IndexBuilder":
+        """Merge from a *lazy* iterable of parts, bounding peak memory.
+
+        Compaction hands ``parts`` as a generator that loads one index
+        file at a time; a streaming-capable type folds each part into
+        the running merge and drops it before the next load, so peak
+        memory is ~(merged-so-far + one part) instead of all parts at
+        once. The result must be byte-identical to
+        ``merge(list(parts), gid_offsets)`` — compaction's
+        content-addressed idempotence depends on it.
+
+        The default materializes the iterable and delegates to
+        :meth:`merge`; types whose merge is associative override this.
+        """
+        return cls.merge(list(parts), list(gid_offsets))
+
 
 class IndexQuerier(ABC):
     """Query-side view over an opened index file."""

@@ -339,12 +339,7 @@ class FmBuilder(IndexBuilder):
         """
         if len(parts) != len(gid_offsets):
             raise RottnestIndexError("parts/offsets length mismatch")
-        texts = []
-        for part in parts:
-            if len(part.sentinels) == 1:
-                texts.append(invert_bwt(part.bwt, part.sentinels[0]))
-            else:
-                texts.append(b"".join(invert_multi_bwt(part.bwt, part.sentinels)))
+        texts = [_invert_text(part) for part in parts]
         page_lens: list[int] = []
         page_gids: list[int] = []
         for part, offset in zip(parts, gid_offsets):
@@ -358,6 +353,75 @@ class FmBuilder(IndexBuilder):
             sample_rate=max(p.sample_rate for p in parts),
             store_pagemap=all(p.store_pagemap for p in parts),
         )
+
+    @classmethod
+    def merge_streaming(
+        cls, parts: Iterable["FmBuilder"], gid_offsets: list[int]
+    ) -> "FmBuilder":
+        """Streaming :meth:`merge`: fold one part at a time.
+
+        The interleave fold is left-associative already, so consuming a
+        lazy iterable part-by-part gives the same ``_merge_two`` call
+        sequence — and the same bytes — as the materialized merge while
+        holding at most the running merge plus one loaded part.
+
+        If an interleave fails to converge, we cannot replay
+        :meth:`merge_rebuild` over the original parts (they are gone);
+        instead the running merge's BWT is inverted back to the
+        concatenated text of everything consumed so far, remaining
+        parts append their own inverted texts, and one ``_from_text``
+        rebuild finishes the job. Rebuild parameters (max block size,
+        max sample rate, AND of pagemap flags) are tracked per original
+        part, matching the materialized fallback exactly.
+        """
+        offsets = list(gid_offsets)
+        it = iter(parts)
+        merged: "FmBuilder | None" = None
+        block = 0
+        rate = 0
+        pagemap_all = True
+        n = 0
+        # (texts, page_lens, page_gids) once an interleave diverges.
+        rebuild: tuple[list[bytes], list[int], list[int]] | None = None
+        # zip pulls offsets first so a surplus part stays in ``it`` for
+        # the leftover check below instead of being silently consumed.
+        for offset, part in zip(offsets, it):
+            n += 1
+            block = max(block, part.block_size)
+            rate = max(rate, part.sample_rate)
+            pagemap_all = pagemap_all and part.store_pagemap
+            if rebuild is not None:
+                texts, lens, gids = rebuild
+                texts.append(_invert_text(part))
+                lens.extend(part.page_lens)
+                gids.extend(g + offset for g in part.page_gids)
+                continue
+            shifted = part._with_gid_offset(offset)
+            if merged is None:
+                merged = shifted
+                continue
+            try:
+                merged = cls._merge_two(merged, shifted)
+            except MergeDidNotConverge:
+                rebuild = (
+                    [_invert_text(merged), _invert_text(part)],
+                    list(merged.page_lens) + list(part.page_lens),
+                    list(merged.page_gids)
+                    + [g + offset for g in part.page_gids],
+                )
+        if n != len(offsets) or n == 0 or next(it, None) is not None:
+            raise RottnestIndexError("parts/offsets length mismatch")
+        if rebuild is not None:
+            texts, lens, gids = rebuild
+            return cls._from_text(
+                b"".join(texts),
+                lens,
+                gids,
+                block_size=block,
+                sample_rate=rate,
+                store_pagemap=pagemap_all,
+            )
+        return merged
 
     def _with_gid_offset(self, offset: int) -> "FmBuilder":
         if offset == 0:
@@ -602,6 +666,13 @@ class FmQuerier(ExactQuerier):
             if cursor > bwt_index:
                 return None
         return None
+
+
+def _invert_text(part: "FmBuilder") -> bytes:
+    """The original concatenated text behind one (possibly merged) part."""
+    if len(part.sentinels) == 1:
+        return invert_bwt(part.bwt, part.sentinels[0])
+    return b"".join(invert_multi_bwt(part.bwt, part.sentinels))
 
 
 def _pagemap_dtype(max_gid: int) -> str:

@@ -206,6 +206,39 @@ class UuidTrieBuilder(IndexBuilder):
         extra = max(p.extra_bits for p in parts)
         return cls(_coalesce(shifted), extra)
 
+    @classmethod
+    def merge_streaming(
+        cls, parts: Iterable["UuidTrieBuilder"], gid_offsets: list[int]
+    ) -> "UuidTrieBuilder":
+        """Streaming :meth:`merge`: consume one part at a time.
+
+        Entry shifting is per part and the sort/coalesce happens once
+        over the accumulated array, so only the entries survive each
+        iteration — never two loaded parts at once — and the result is
+        byte-identical to the materialized merge.
+        """
+        shifted: list[TrieEntry] = []
+        extra = 0
+        count = 0
+        it = iter(parts)
+        # zip pulls offsets first so a surplus part stays in ``it`` for
+        # the leftover check below instead of being silently consumed.
+        for offset, part in zip(gid_offsets, it):
+            count += 1
+            extra = max(extra, part.extra_bits)
+            for e in part.entries:
+                shifted.append(
+                    TrieEntry(
+                        prefix=e.prefix,
+                        bits=e.bits,
+                        gids=[g + offset for g in e.gids],
+                    )
+                )
+        if count == 0 or count != len(gid_offsets) or next(it, None) is not None:
+            raise RottnestIndexError("parts/offsets length mismatch")
+        shifted.sort(key=TrieEntry.sort_key)
+        return cls(_coalesce(shifted), extra)
+
 
 class UuidTrieQuerier(ExactQuerier):
     """Query path: LUT (free, from the cached tail) → one leaf GET."""

@@ -208,6 +208,21 @@ class IvfPqBuilder(IndexBuilder):
             seed=0,
         )
 
+    @classmethod
+    def merge_streaming(
+        cls, parts: Iterable["IvfPqBuilder"], gid_offsets: list[int]
+    ) -> "IvfPqBuilder":
+        """Materialize, then :meth:`merge` — IVF-PQ cannot stream.
+
+        The k-means retraining inside :meth:`merge` samples over *all*
+        parts' decoded vectors at once; folding part-by-part would
+        retrain on different samples and change the committed bytes.
+        Peak memory is unaffected in practice: the maintenance layer
+        prefers the raw-page rebuild path for this type
+        (``prefers_raw_rebuild``), which never loads old parts at all.
+        """
+        return cls.merge(list(parts), list(gid_offsets))
+
 
 class IvfPqQuerier(ScoringQuerier):
     """Two-round query: centroids (tail) → probed lists (one round)."""

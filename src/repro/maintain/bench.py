@@ -1,0 +1,179 @@
+"""Modeled-latency benchmark scenario for the maintenance pipeline.
+
+Builds a many-file uuid lake on a simulated store, then runs the same
+maintenance history at several worker counts on byte-identical clones.
+Latencies are *modeled* from the recorded request traces (per-round
+first-byte + list costs under :class:`~repro.storage.latency
+.LatencyModel`), not wall-clock — the store is in memory and the
+machine may have one core, but the trace shape (how many dependent
+round trips the run needs) is exactly what parallelism changes.
+
+Shared by ``benchmarks/bench_maintenance.py`` (which persists the
+numbers to ``results/BENCH_maintenance.json`` for the regression gate)
+and the ``repro maintain-bench`` CLI subcommand (which prints them).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.client import RottnestClient
+from repro.core.maintenance import covering_records
+from repro.formats.schema import ColumnType, Field as SchemaField, Schema
+from repro.lake.table import LakeTable, TableConfig
+from repro.maintain.pipeline import MaintenancePipeline
+from repro.obs.trace import Tracer, use_tracer
+from repro.storage.latency import LatencyModel
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.clock import SimClock
+
+SCHEMA = Schema.of(SchemaField("uuid", ColumnType.BINARY))
+LAKE_ROOT = "lake/u"
+INDEX_DIR = "idx/u"
+
+
+@dataclass
+class MaintainBenchResult:
+    """Modeled numbers for one (files, rows, workers-set) scenario."""
+
+    files: int
+    rows: int
+    index_modeled_ms: dict[int, float] = field(default_factory=dict)
+    index_worker_tasks: dict[int, int] = field(default_factory=dict)
+    compact_modeled_ms: dict[int, float] = field(default_factory=dict)
+    compact_merge_ms: dict[int, float] = field(default_factory=dict)
+    compact_groups: int = 0
+
+    def index_speedup(self, workers: int) -> float:
+        """Modeled serial latency over modeled latency at ``workers``."""
+        return self.index_modeled_ms[1] / self.index_modeled_ms[workers]
+
+    def compact_speedup(self, workers: int) -> float:
+        """Serial over parallel modeled compaction latency, end to end.
+
+        Amdahl-limited: plan and commit are constant-cost serial
+        sections, so only the merge phase (see
+        :meth:`merge_speedup`) scales with the pool.
+        """
+        return self.compact_modeled_ms[1] / self.compact_modeled_ms[workers]
+
+    def merge_speedup(self, workers: int) -> float:
+        """Serial over parallel modeled latency of the merge phase only."""
+        return self.compact_merge_ms[1] / self.compact_merge_ms[workers]
+
+    def describe(self) -> str:
+        """Human-readable summary for the CLI."""
+        lines = [
+            f"maintain-bench: {self.files} files x {self.rows} rows "
+            "(modeled store latency)",
+            "  index (one call covering every file):",
+        ]
+        for w in sorted(self.index_modeled_ms):
+            lines.append(
+                f"    workers={w}: {self.index_modeled_ms[w]:8.1f} ms"
+                f"  (speedup {self.index_speedup(w):.2f}x, "
+                f"{self.index_worker_tasks[w]} extraction tasks)"
+            )
+        lines.append(
+            f"  compact ({self.compact_groups} independent merge groups):"
+        )
+        for w in sorted(self.compact_modeled_ms):
+            lines.append(
+                f"    workers={w}: {self.compact_modeled_ms[w]:8.1f} ms"
+                f"  (end-to-end {self.compact_speedup(w):.2f}x, "
+                f"merge phase {self.merge_speedup(w):.2f}x)"
+            )
+        return "\n".join(lines)
+
+
+def _client(store) -> RottnestClient:
+    counter = itertools.count()
+    return RottnestClient(
+        store,
+        INDEX_DIR,
+        LakeTable.open(store, LAKE_ROOT),
+        key_entropy=lambda: next(counter).to_bytes(4, "big"),
+    )
+
+
+def _build_lake(files: int, rows: int) -> InMemoryObjectStore:
+    store = InMemoryObjectStore(clock=SimClock(start=1_000_000.0))
+    lake = LakeTable.create(
+        store,
+        LAKE_ROOT,
+        SCHEMA,
+        TableConfig(row_group_rows=16, page_target_bytes=1024),
+    )
+    for i in range(files):
+        lake.append(
+            {
+                "uuid": [
+                    f"{i:03d}-{j:04d}".encode().ljust(16, b"\0")
+                    for j in range(rows)
+                ]
+            }
+        )
+    return store
+
+
+def run_maintain_bench(
+    *,
+    files: int = 40,
+    rows: int = 32,
+    workers: tuple[int, ...] = (1, 2, 4),
+    compact_files: int = 12,
+    model: LatencyModel | None = None,
+) -> MaintainBenchResult:
+    """Run the index and compact scenarios at each worker count.
+
+    Every worker count runs on a clone of the same starting store, so
+    the workloads are byte-identical and the only variable is the
+    pipeline width.
+    """
+    model = model or LatencyModel()
+    result = MaintainBenchResult(files=files, rows=rows)
+
+    # -- index: one call extracting every file --------------------------
+    base = _build_lake(files, rows)
+    for w in workers:
+        store = base.clone()
+        tracer = Tracer(clock=store.clock)
+        with use_tracer(tracer), MaintenancePipeline(
+            _client(store), workers=w
+        ) as pipe:
+            report = pipe.index("uuid", "uuid_trie")
+        result.index_modeled_ms[w] = report.modeled_latency(model) * 1000
+        result.index_worker_tasks[w] = report.worker_tasks
+
+    # -- compact: independent merge groups across workers ---------------
+    compact_base = _build_lake(compact_files, rows)
+    seed_client = _client(compact_base)
+    for version in range(1, compact_files + 1):
+        seed_client.index(
+            "uuid", "uuid_trie", snapshot=seed_client.lake.snapshot(version)
+        )
+    # Pack two per-file indices per group so the group count (and the
+    # parallel win) is files/2.
+    target = 2 * max(
+        r.size
+        for r in covering_records(seed_client, "uuid", "uuid_trie")
+    ) + 1
+    for w in workers:
+        store = compact_base.clone()
+        tracer = Tracer(clock=store.clock)
+        with use_tracer(tracer), MaintenancePipeline(
+            _client(store), workers=w
+        ) as pipe:
+            report = pipe.compact(
+                "uuid", "uuid_trie", target_bytes=target
+            )
+        result.compact_modeled_ms[w] = report.modeled_latency(model) * 1000
+        merge = next(
+            ph
+            for ph in report.bill(latency=model).phases
+            if ph.phase == "merge"
+        )
+        result.compact_merge_ms[w] = merge.est_latency_s * 1000
+        result.compact_groups = max(result.compact_groups, len(report.records))
+    return result

@@ -21,7 +21,6 @@ many it reproduces Fig. 8c's flat-latency/linear-cost curve.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, TypeVar
 
 from repro.core.client import (
@@ -39,7 +38,8 @@ from repro.formats.page_reader import PageEntry, read_page
 from repro.indices.base import ExactQuerier, ScoringQuerier, querier_for
 from repro.lake.snapshot import Snapshot
 from repro.meta.metadata_table import IndexRecord
-from repro.obs.trace import Span, get_tracer
+from repro.obs.trace import get_tracer
+from repro.storage.pool import IOBudget, TracedPool
 from repro.storage.stats import RequestTrace
 
 T = TypeVar("T")
@@ -53,20 +53,35 @@ class SearchExecutor:
     request trace (and therefore modeled latency/cost) differs.
     """
 
-    def __init__(self, client: RottnestClient, *, max_searchers: int = 4) -> None:
+    def __init__(
+        self,
+        client: RottnestClient,
+        *,
+        max_searchers: int = 4,
+        budget: IOBudget | None = None,
+    ) -> None:
         if max_searchers < 1:
             raise RottnestIndexError(
                 f"max_searchers must be >= 1, got {max_searchers}"
             )
         self.client = client
         self.max_searchers = max_searchers
-        self._pool = ThreadPoolExecutor(
-            max_workers=max_searchers, thread_name_prefix="searcher"
+        # The fan-out machinery (per-worker traces, wave merging,
+        # deterministic payload order) lives in TracedPool, shared with
+        # the maintenance pipeline. A shared ``budget`` caps combined
+        # in-flight tasks across everything holding it — the signal
+        # that lets maintenance overlap serving without starving it.
+        self._pool = TracedPool(
+            client.store,
+            workers=max_searchers,
+            thread_name_prefix="searcher",
+            span_name="searcher:task",
+            budget=budget,
         )
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
+        self._pool.close()
 
     def __enter__(self) -> "SearchExecutor":
         return self
@@ -75,65 +90,10 @@ class SearchExecutor:
         self.close()
 
     # -- fan-out machinery ---------------------------------------------
-    def _traced(
-        self, fn: Callable[[], T], parent: Span | None
-    ) -> Callable[[], tuple[RequestTrace, T]]:
-        """Wrap a task so it records store requests into its own
-        per-thread trace and returns ``(trace, payload)``.
-
-        ``parent`` is the submitting thread's current span: the worker
-        re-attaches it so its ``searcher:task`` span (and the store
-        events recorded inside) lands under the right query span even
-        though it runs on a pool thread.
-        """
-        store = self.client.store
-
-        def run() -> tuple[RequestTrace, T]:
-            tracer = get_tracer()
-            with tracer.attach(parent), tracer.span("searcher:task") as task_span:
-                store.start_trace()
-                try:
-                    payload = fn()
-                finally:
-                    trace = store.stop_trace()
-                # Per-task trace for inspection; the *phase* span owns
-                # the merged wave trace, so attribution counts each
-                # request once (task spans carry no ``phase`` attr).
-                task_span.trace = trace
-                task_span.set("requests", trace.total_requests)
-            return trace, payload
-
-        return run
-
     def _fan_out(self, tasks: list[Callable[[], T]]) -> tuple[RequestTrace, list[T]]:
-        """Run tasks on the pool in waves of ``max_searchers``.
-
-        Traces within a wave merge in parallel; waves compose
-        sequentially (only ``max_searchers`` requests can be in flight
-        at once). Payloads come back in task order regardless of
-        completion order, which is what keeps results deterministic.
-        """
-        parent = get_tracer().current()
-        combined = RequestTrace()
-        payloads: list[T] = []
-        width = self.max_searchers
-        for start in range(0, len(tasks), width):
-            wave = tasks[start : start + width]
-            futures = [self._pool.submit(self._traced(fn, parent)) for fn in wave]
-            wave_trace = RequestTrace()
-            errors: list[BaseException] = []
-            for future in futures:
-                try:
-                    trace, payload = future.result()
-                except BaseException as exc:  # collect, then re-raise first
-                    errors.append(exc)
-                    continue
-                wave_trace = wave_trace.merge_parallel(trace)
-                payloads.append(payload)
-            if errors:
-                raise errors[0]
-            combined = combined.then(wave_trace)
-        return combined, payloads
+        """Run tasks on the shared pool in waves of ``max_searchers``;
+        see :meth:`TracedPool.run` for trace composition and ordering."""
+        return self._pool.run(tasks)
 
     # -- public API ----------------------------------------------------
     def search(

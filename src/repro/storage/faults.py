@@ -87,9 +87,7 @@ class FaultRule:
     def matches(self, op: str, key: str) -> bool:
         """Decide (and consume) whether this rule fires on ``op``/``key``."""
         # Predicate checks are read-only and can stay outside the lock.
-        if not self._op_matches(op.upper()):
-            return False
-        if not self.key_predicate(key):
+        if not self.applies(op, key):
             return False
         with self._lock:
             if self.fired:
@@ -100,6 +98,37 @@ class FaultRule:
             self.fired = True
             self.fired_on = (op.upper(), key)
             return True
+
+    def applies(self, op: str, key: str) -> bool:
+        """Whether ``op``/``key`` is in scope — read-only, consumes
+        nothing. The store-side checks use this to separate *scope*
+        from *countdown accounting*, so an attempt that never reaches
+        the inner store (aborted by some other rule's injected fault)
+        does not consume this rule's countdown."""
+        return self._op_matches(op.upper()) and self.key_predicate(key)
+
+    def try_fire(self, op: str, key: str) -> bool:
+        """Fire now if in scope, armed (countdown exhausted), and not
+        already fired. Never decrements: firing and counting are
+        distinct steps, so probing for a ready rule cannot double-count
+        an operation that another rule is about to abort."""
+        if not self.applies(op, key):
+            return False
+        with self._lock:
+            if self.fired or self.countdown > 0:
+                return False
+            self.fired = True
+            self.fired_on = (op.upper(), key)
+            return True
+
+    def tick(self, op: str, key: str) -> None:
+        """Consume one countdown step for an in-scope operation that
+        actually reached the inner store."""
+        if not self.applies(op, key):
+            return
+        with self._lock:
+            if not self.fired and self.countdown > 0:
+                self.countdown -= 1
 
 
 class FaultyObjectStore(ObjectStore):
@@ -168,19 +197,41 @@ class FaultyObjectStore(ObjectStore):
         )
 
     def _check_before(self, op: str, key: str) -> None:
-        """Raise :class:`InjectedFault` if a ``"fault"`` rule fires."""
+        """Raise :class:`InjectedFault` if a ``"fault"`` rule fires.
+
+        Two passes, so countdowns stay attempt-exact under retries:
+        first probe whether any armed rule aborts this attempt (firing
+        consumes nothing from the others — the operation never reaches
+        the inner store, so no sibling rule should count it); only when
+        no rule fires does every in-scope rule consume one countdown
+        step for the operation that is about to execute. A retried PUT
+        therefore decrements each rule exactly once per *effective*
+        operation, never once per attempt.
+        """
         for rule in self.rules:
-            if rule.mode == "fault" and rule.matches(op, key):
+            if rule.mode == "fault" and rule.try_fire(op, key):
                 raise InjectedFault(f"injected fault on {op} {key!r}")
+        for rule in self.rules:
+            if rule.mode == "fault":
+                rule.tick(op, key)
 
     def _check_after(self, op: str, key: str) -> None:
-        """Raise :class:`SimulatedCrash` if a ``"crash_after"`` rule fires."""
+        """Raise :class:`SimulatedCrash` if a ``"crash_after"`` rule fires.
+
+        The mutation is already durable, so *every* in-scope crash rule
+        counts this boundary — the raise must not short-circuit sibling
+        rules' countdowns, or a multi-rule schedule would drift
+        depending on registration order.
+        """
+        crashed = False
         for rule in self.rules:
             if rule.mode == "crash_after" and rule.matches(op, key):
-                # Leave a mark on the active span so the chaos timeline
-                # shows exactly where the client died.
-                get_tracer().record_event("CRASH", f"{op} {key}", 0)
-                raise SimulatedCrash(op, key)
+                crashed = True
+        if crashed:
+            # Leave a mark on the active span so the chaos timeline
+            # shows exactly where the client died.
+            get_tracer().record_event("CRASH", f"{op} {key}", 0)
+            raise SimulatedCrash(op, key)
 
     # -- delegated operations ----------------------------------------
     def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:

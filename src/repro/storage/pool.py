@@ -1,0 +1,211 @@
+"""Bounded, trace-aware worker pool shared by serving and maintenance.
+
+:class:`TracedPool` generalizes the fan-out machinery that
+:class:`~repro.serve.executor.SearchExecutor` pioneered for queries so
+the maintenance write path (:mod:`repro.maintain`) can reuse it
+verbatim: tasks run in waves of ``workers``; each worker records its
+own per-thread :class:`~repro.storage.stats.RequestTrace`; traces
+within a wave merge with ``merge_parallel`` (they really were in
+flight together), waves compose sequentially with ``then`` (only
+``workers`` requests can be outstanding at once). Payloads come back
+in task order regardless of completion order — determinism of results
+never depends on scheduling.
+
+:class:`IOBudget` is the backpressure signal that lets a maintenance
+daemon overlap its ticks with live serving without starving it: both
+sides wrap their store-touching tasks in :meth:`IOBudget.slot`, so the
+*total* IO concurrency across pools is capped by one shared semaphore.
+Budget occupancy is exported through :mod:`repro.obs` gauges so an
+operator can see maintenance yielding to queries in real time.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
+
+from repro.errors import RottnestIndexError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import Span, get_tracer
+from repro.storage.object_store import ObjectStore
+from repro.storage.stats import RequestTrace
+
+T = TypeVar("T")
+
+_BUDGET_SLOTS = get_registry().gauge(
+    "io_budget_slots",
+    "Configured IO-budget slots per shared budget.",
+    ("budget",),
+)
+_BUDGET_IN_USE = get_registry().gauge(
+    "io_budget_in_use",
+    "IO-budget slots currently held per shared budget.",
+    ("budget",),
+)
+_BUDGET_WAITS = get_registry().counter(
+    "io_budget_waits_total",
+    "Times a worker blocked waiting for an IO-budget slot.",
+    ("budget",),
+)
+
+
+class IOBudget:
+    """A shared cap on concurrent store-touching tasks.
+
+    One budget can be handed to several :class:`TracedPool` instances
+    (e.g. a query executor and a maintenance pipeline); their combined
+    in-flight task count never exceeds ``slots``. Acquisition order is
+    the semaphore's (FIFO-ish) — neither side can starve the other
+    indefinitely, which is the backpressure contract the daemon relies
+    on when it overlaps maintenance with serving.
+    """
+
+    def __init__(self, slots: int, *, name: str = "shared") -> None:
+        if slots < 1:
+            raise RottnestIndexError(f"IO budget slots must be >= 1, got {slots}")
+        self.slots = slots
+        self.name = name
+        self._sem = threading.Semaphore(slots)
+        self._lock = threading.Lock()
+        self._in_use = 0
+        _BUDGET_SLOTS.set(slots, budget=name)
+        _BUDGET_IN_USE.set(0, budget=name)
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held (for tests and dashboards)."""
+        with self._lock:
+            return self._in_use
+
+    @contextmanager
+    def slot(self) -> Iterator[None]:
+        """Hold one budget slot for the duration of the block."""
+        if not self._sem.acquire(blocking=False):
+            _BUDGET_WAITS.inc(budget=self.name)
+            self._sem.acquire()
+        with self._lock:
+            self._in_use += 1
+        _BUDGET_IN_USE.add(1, budget=self.name)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._in_use -= 1
+            _BUDGET_IN_USE.add(-1, budget=self.name)
+            self._sem.release()
+
+
+class TracedPool:
+    """Runs tasks in bounded waves, recording per-worker traces.
+
+    Usable as a context manager; :meth:`close` shuts the pool down.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        *,
+        workers: int = 4,
+        thread_name_prefix: str = "worker",
+        span_name: str = "worker:task",
+        budget: IOBudget | None = None,
+    ) -> None:
+        if workers < 1:
+            raise RottnestIndexError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.workers = workers
+        self.span_name = span_name
+        self.budget = budget
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=thread_name_prefix
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "TracedPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- fan-out machinery ---------------------------------------------
+    def _traced(
+        self, fn: Callable[[], T], parent: Span | None, span_name: str
+    ) -> Callable[[], tuple[RequestTrace, T]]:
+        """Wrap a task so it records store requests into its own
+        per-thread trace and returns ``(trace, payload)``.
+
+        ``parent`` is the submitting thread's current span: the worker
+        re-attaches it so its task span (and the store events recorded
+        inside) lands under the right root even though it runs on a
+        pool thread.
+        """
+        store = self.store
+        budget = self.budget
+
+        def run() -> tuple[RequestTrace, T]:
+            tracer = get_tracer()
+            with tracer.attach(parent), tracer.span(span_name) as task_span:
+                if budget is not None:
+                    with budget.slot():
+                        store.start_trace()
+                        try:
+                            payload = fn()
+                        finally:
+                            trace = store.stop_trace()
+                else:
+                    store.start_trace()
+                    try:
+                        payload = fn()
+                    finally:
+                        trace = store.stop_trace()
+                # Per-task trace for inspection; the *phase* span owns
+                # the merged wave trace, so attribution counts each
+                # request once (task spans carry no ``phase`` attr).
+                task_span.trace = trace
+                task_span.set("requests", trace.total_requests)
+            return trace, payload
+
+        return run
+
+    def run(
+        self, tasks: list[Callable[[], T]], *, span_name: str | None = None
+    ) -> tuple[RequestTrace, list[T]]:
+        """Run tasks on the pool in waves of ``workers``.
+
+        Traces within a wave merge in parallel; waves compose
+        sequentially. Payloads come back in task order regardless of
+        completion order, which is what keeps results deterministic.
+        Errors are collected per wave and the first (in task order) is
+        re-raised — including :class:`~repro.errors.SimulatedCrash`,
+        so chaos injection in any worker kills the whole operation
+        exactly as it would the serial loop.
+        """
+        name = span_name or self.span_name
+        parent = get_tracer().current()
+        combined = RequestTrace()
+        payloads: list[T] = []
+        width = self.workers
+        for start in range(0, len(tasks), width):
+            wave = tasks[start : start + width]
+            futures = [
+                self._pool.submit(self._traced(fn, parent, name)) for fn in wave
+            ]
+            wave_trace = RequestTrace()
+            errors: list[BaseException] = []
+            for future in futures:
+                try:
+                    trace, payload = future.result()
+                except BaseException as exc:  # collect, then re-raise first
+                    errors.append(exc)
+                    continue
+                wave_trace = wave_trace.merge_parallel(trace)
+                payloads.append(payload)
+            if errors:
+                raise errors[0]
+            combined = combined.then(wave_trace)
+        return combined, payloads

@@ -28,6 +28,7 @@ from repro.errors import (
     ObjectNotFound,
     ObjectStoreError,
     PreconditionFailed,
+    SimulatedCrash,
 )
 from repro.obs.metrics import get_registry
 from repro.storage.object_store import ObjectInfo, ObjectStore
@@ -92,6 +93,16 @@ class RetryingObjectStore(ObjectStore):
             try:
                 return operation(*args, **kwargs)
             except _PERMANENT:
+                raise
+            except SimulatedCrash:
+                # A simulated process death is not a transient store
+                # error: the mutation beneath it is durable and the
+                # "process" is gone. Retrying would both resurrect the
+                # dead client and re-run the mutation, consuming chaos
+                # crash countdowns twice per boundary. (SimulatedCrash
+                # is not an ObjectStoreError, but pin it explicitly so
+                # an exception-hierarchy change cannot silently break
+                # one-crash-per-rule semantics.)
                 raise
             except ObjectStoreError as exc:
                 last = exc

@@ -1,0 +1,119 @@
+"""Perf-regression gate: committed bench results vs committed baselines.
+
+Benchmarks persist their numbers to ``benchmarks/results/BENCH_*.json``
+(via :func:`benchmarks.common.write_bench`); blessed copies live in
+``benchmarks/baselines/``. This gate fails when any baselined metric
+got more than 20% *worse* in the current results — where "worse" is
+direction-aware: metric names containing a :data:`HIGHER_IS_BETTER`
+fragment (speedups, hit rates, throughputs) must not fall, everything
+else (latencies, costs, request counts) must not rise.
+
+The numbers under test are *modeled* (request-trace round trips under
+``LatencyModel``, dollars under ``CostModel``), so they are stable
+run-to-run and a 20% move is a real plan-shape change, not noise. To
+bless an intentional change, re-run the benchmarks and copy the fresh
+``results/BENCH_*.json`` over the baseline.
+
+A metric present only in the baseline (deleted from results) fails —
+coverage must not silently shrink. A metric present only in the
+results passes — new metrics get baselined when they are blessed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+RESULTS = REPO / "benchmarks" / "results"
+BASELINES = REPO / "benchmarks" / "baselines"
+
+#: Name fragments marking metrics where bigger numbers are better.
+HIGHER_IS_BETTER = ("speedup", "hit_rate", "qps", "throughput")
+
+#: Metrics excluded from the gate: legitimately scheduling-dependent.
+#: Single-flight dedup counts — and, in the concurrent-clients
+#: measurement, everything downstream of them (which repeats hit the
+#: cache, hence the latency percentiles and the qps ceiling) — depend
+#: on real thread interleaving, not on the modeled plan shape.
+VOLATILE = (
+    "deduplicated",
+    "concurrent_clients.cache_hit_rate",
+    "concurrent_clients.p50",
+    "concurrent_clients.p99",
+    "concurrent_clients.qps",
+)
+
+#: Allowed relative move in the worse direction.
+TOLERANCE = 0.20
+
+BASELINE_FILES = sorted(BASELINES.glob("BENCH_*.json"))
+
+
+def _metrics(doc: dict) -> dict[str, float]:
+    """Flatten a bench doc to ``measurement.metric -> value``."""
+    flat: dict[str, float] = {}
+    for measurement, body in doc.get("measurements", {}).items():
+        for name, value in body.get("metrics", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                flat[f"{measurement}.{name}"] = float(value)
+    return flat
+
+
+def _is_higher_better(name: str) -> bool:
+    return any(frag in name for frag in HIGHER_IS_BETTER)
+
+
+def test_baselines_exist():
+    """The gate must actually be guarding something."""
+    assert BASELINE_FILES, f"no BENCH_*.json baselines in {BASELINES}"
+
+
+@pytest.mark.parametrize(
+    "baseline_path", BASELINE_FILES, ids=lambda p: p.stem
+)
+def test_no_bench_regression(baseline_path):
+    results_path = RESULTS / baseline_path.name
+    assert results_path.exists(), (
+        f"{baseline_path.name} has a baseline but no committed results — "
+        f"re-run the benchmark that writes {results_path}"
+    )
+    baseline = _metrics(json.loads(baseline_path.read_text()))
+    current = _metrics(json.loads(results_path.read_text()))
+
+    violations: list[str] = []
+    for name, base in sorted(baseline.items()):
+        if any(frag in name for frag in VOLATILE):
+            continue
+        if name not in current:
+            violations.append(f"{name}: in baseline but missing from results")
+            continue
+        if base == 0:
+            continue  # no relative comparison possible
+        now = current[name]
+        if _is_higher_better(name):
+            if now < base * (1 - TOLERANCE):
+                violations.append(
+                    f"{name}: fell {base:.4g} -> {now:.4g} "
+                    f"(> {TOLERANCE:.0%} below baseline)"
+                )
+        elif now > base * (1 + TOLERANCE):
+            violations.append(
+                f"{name}: rose {base:.4g} -> {now:.4g} "
+                f"(> {TOLERANCE:.0%} above baseline)"
+            )
+    assert not violations, (
+        f"{baseline_path.name}: {len(violations)} metric(s) regressed "
+        f"beyond {TOLERANCE:.0%}:\n  " + "\n  ".join(violations)
+    )
+
+
+def test_direction_classifier_spots_known_names():
+    """The fragments must classify this repo's real metric names."""
+    assert _is_higher_better("index_scaling.index_speedup_4x")
+    assert _is_higher_better("cold_vs_warm.cache_hit_rate")
+    assert _is_higher_better("concurrent_clients.qps_ceiling")
+    assert not _is_higher_better("index_scaling.index_modeled_ms_4_workers")
+    assert not _is_higher_better("executor_scaling.cost_usd_16_searchers")

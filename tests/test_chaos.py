@@ -263,6 +263,94 @@ class TestCrashMatrices:
 
 
 # ---------------------------------------------------------------------
+# parallel maintenance: same crash points, same recoveries
+# ---------------------------------------------------------------------
+class TestParallelCrashMatrices:
+    """The worker-pool paths must be crash-safe at every boundary the
+    serial paths have — and at no boundary the registry doesn't know
+    (see docs/protocol.md, "Parallel maintenance adds no new crash
+    points")."""
+
+    def test_parallel_index_every_crash_point_recoverable(self):
+        clock, store = _base_lake(batches=1)
+        LakeTable.open(store, "lake/events").append(event_batch(120, seed=9))
+        matrix = crash_matrix(
+            store,
+            _make_client,
+            "index",
+            lambda c: c.index("uuid", "uuid_trie", workers=4),
+            compare="coverage",
+        )
+        assert matrix.mutations >= 2
+        assert matrix.all_recoverable, matrix.describe()
+        # Fanning the extraction reads changed no mutation boundary.
+        assert matrix.crash_points() <= set(CRASH_POINTS)
+        assert "index:put-index-file" in matrix.crash_points()
+        assert "index:put-meta-commit" in matrix.crash_points()
+
+    def test_parallel_compact_every_crash_point_byte_identical(self):
+        clock, store = _base_lake(batches=4)
+        # A small packing target splits the four per-file indices into
+        # two merge groups, so merged-index PUTs really do race across
+        # workers instead of collapsing into one task.
+        target = 2 * max(
+            r.size for r in _make_client(store).meta.records()
+        ) + 1
+        matrix = crash_matrix(
+            store,
+            _make_client,
+            "compact",
+            lambda c: compact_indices(
+                c, "uuid", "uuid_trie", target_bytes=target, workers=4
+            ),
+            compare="bytes",
+        )
+        assert matrix.mutations >= 3  # two merged uploads + commit
+        assert matrix.all_recoverable, matrix.describe()
+        assert matrix.crash_points() <= set(CRASH_POINTS)
+        assert "compact:put-merged-index" in matrix.crash_points()
+        assert "compact:put-meta-commit" in matrix.crash_points()
+
+    def test_worker_crash_propagates_and_orphans_recover(self):
+        """A crash inside one compactor worker kills the whole run
+        before the commit; sibling uploads already in flight are
+        content-addressed orphans a plain re-run converges over."""
+        from repro.chaos.harness import _logical_state
+
+        clock, store = _base_lake(batches=4)
+        target = 2 * max(
+            r.size for r in _make_client(store).meta.records()
+        ) + 1
+
+        reference = store.clone()
+        compact_indices(
+            _make_client(reference), "uuid", "uuid_trie", target_bytes=target
+        )
+
+        wrecked = store.clone()
+        faulty = FaultyObjectStore(wrecked)
+        faulty.crash_after("PUT", "/files/")  # first merged-index upload
+        with pytest.raises(SimulatedCrash):
+            compact_indices(
+                _make_client(faulty),
+                "uuid",
+                "uuid_trie",
+                target_bytes=target,
+                workers=4,
+            )
+        # No commit happened: searches still plan the small indices.
+        crashed_meta = _make_client(wrecked).meta.records()
+        base_meta = _make_client(store.clone()).meta.records()
+        assert crashed_meta == base_meta
+
+        # Recovery is the operation itself, serial and fault-free.
+        compact_indices(
+            _make_client(wrecked), "uuid", "uuid_trie", target_bytes=target
+        )
+        assert _logical_state(wrecked) == _logical_state(reference)
+
+
+# ---------------------------------------------------------------------
 # the randomized fuzzer
 # ---------------------------------------------------------------------
 class TestProtocolFuzzer:

@@ -269,3 +269,22 @@ class TestCliLifecycle:
         assert code == 0
         hit = json.loads(out.splitlines()[0])
         assert hit["value"][0] == pytest.approx(7.0)
+
+
+class TestMaintainBench:
+    def test_wide_run_clears_the_gate(self, capsys):
+        code, out = run(
+            capsys, "maintain-bench",
+            "--files", "32", "--rows", "24", "--workers", "4",
+        )
+        assert code == 0
+        assert "speedup" in out and "merge phase" in out
+
+    def test_narrow_run_fails_the_gate(self, capsys):
+        # 8 files cannot amortize the serial plan+commit to 2x.
+        code, out = run(
+            capsys, "maintain-bench",
+            "--files", "8", "--rows", "24", "--workers", "4",
+        )
+        assert code == 2
+        assert "workers=1" in out  # width 1 is always included

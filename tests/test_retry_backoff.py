@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import InjectedFault
+from repro.errors import InjectedFault, SimulatedCrash
 from repro.storage.faults import FaultyObjectStore
 from repro.storage.object_store import InMemoryObjectStore
 from repro.storage.retry import RetryingObjectStore
@@ -103,3 +103,90 @@ def test_validates_cap_against_base():
     inner = InMemoryObjectStore(clock=SimClock())
     with pytest.raises(ValueError):
         RetryingObjectStore(inner, base_backoff_s=5.0, max_backoff_s=1.0)
+
+
+class TestCrashCountdownsUnderRetries:
+    """One-crash-per-rule semantics when faults and retries interact.
+
+    The countdown of a rule counts *effective* operations — attempts
+    that reached the inner store — never raw attempts. An attempt
+    aborted by another rule's injected fault is invisible to every
+    other rule, so retried PUTs cannot double-decrement a schedule.
+    """
+
+    def test_aborted_attempt_does_not_tick_other_fault_rules(self):
+        inner = InMemoryObjectStore(clock=SimClock(start=0.0))
+        faulty = FaultyObjectStore(inner)
+        retrying = RetryingObjectStore(faulty, max_attempts=3, jitter_seed=0)
+        # Registration order is the old failure mode: the armed rule
+        # (countdown=1) is checked first, so the buggy single-pass
+        # check ticked it while deciding the countdown=0 rule fires.
+        armed = faulty.fail_next("PUT", countdown=1)
+        faulty.fail_next("PUT", countdown=0)
+
+        # First logical put: attempt 1 is aborted by the countdown=0
+        # rule, the retry reaches the store. ``armed`` must see exactly
+        # one effective PUT — its countdown drops 1 -> 0, no fire yet.
+        retrying.put("idx/a", b"v1")
+        assert inner.get("idx/a") == b"v1"
+        assert armed.countdown == 0
+        assert not armed.fired
+
+        # Second logical put: now ``armed`` fires (and, being
+        # transient, is absorbed by one retry). Under the old
+        # per-attempt ticking it would already have fired during the
+        # first logical put's retry.
+        before = retrying.retries
+        retrying.put("idx/b", b"v2")
+        assert armed.fired
+        assert armed.fired_on == ("PUT", "idx/b")
+        assert retrying.retries == before + 1
+
+    def test_crash_fires_once_and_is_not_retried(self):
+        inner = InMemoryObjectStore(clock=SimClock(start=0.0))
+        faulty = FaultyObjectStore(inner)
+        retrying = RetryingObjectStore(faulty, max_attempts=4, jitter_seed=0)
+        rule = faulty.crash_after("PUT", countdown=1)
+
+        retrying.put("idx/a", b"v1")  # ticks the countdown: 1 -> 0
+        with pytest.raises(SimulatedCrash):
+            retrying.put("idx/b", b"v2")
+        # The crash surfaced through the retry wrapper un-retried: the
+        # rule fired exactly once and no backoff time was burned.
+        assert rule.fired
+        assert rule.fired_on == ("PUT", "idx/b")
+        assert retrying.retries == 0
+        assert retrying.clock.now() == 0.0
+        # ...and the mutation beneath the crash is durable.
+        assert inner.get("idx/b") == b"v2"
+
+    def test_faulted_attempts_never_tick_crash_rules(self):
+        inner = InMemoryObjectStore(clock=SimClock(start=0.0))
+        faulty = FaultyObjectStore(inner)
+        retrying = RetryingObjectStore(faulty, max_attempts=3, jitter_seed=0)
+        crash = faulty.crash_after("PUT", countdown=2)
+        faulty.fail_next("PUT", countdown=0)
+
+        # Attempt 1 faults (no durable effect), attempt 2 lands: one
+        # effective PUT, one crash-countdown tick — not two.
+        retrying.put("idx/a", b"v1")
+        assert crash.countdown == 1
+        retrying.put("idx/b", b"v2")
+        assert crash.countdown == 0
+        with pytest.raises(SimulatedCrash):
+            retrying.put("idx/c", b"v3")
+        assert crash.fired_on == ("PUT", "idx/c")
+
+    def test_sibling_crash_rules_all_count_a_shared_boundary(self):
+        inner = InMemoryObjectStore(clock=SimClock(start=0.0))
+        faulty = FaultyObjectStore(inner)
+        first = faulty.crash_after("PUT", countdown=0)
+        second = faulty.crash_after("PUT", countdown=1)
+
+        with pytest.raises(SimulatedCrash):
+            faulty.put("idx/a", b"v1")
+        # The raise for ``first`` must not skip ``second``'s tick: the
+        # mutation was durable, so every in-scope rule counted it.
+        assert first.fired
+        assert second.countdown == 0
+        assert not second.fired
