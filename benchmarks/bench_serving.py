@@ -26,6 +26,7 @@ from repro.core.client import RottnestClient
 from repro.core.queries import UuidQuery
 from repro.lake.table import LakeTable, TableConfig
 from repro.formats.schema import ColumnType, Field, Schema
+from repro.obs import TelemetryHub, use_hub, write_telemetry_json
 from repro.serve import CachingObjectStore, SearchExecutor, SearchServer
 from repro.storage.costs import CostModel
 from repro.storage.latency import LatencyModel
@@ -36,6 +37,7 @@ from repro.workloads.uuids import UuidWorkload
 from benchmarks.common import (
     SEARCHER_INSTANCE,
     build_uuid_scenario,
+    results_path,
     write_bench,
     write_result,
 )
@@ -67,11 +69,11 @@ def test_cold_vs_warm_repeated_query(uuid_scenario, benchmark):
     with server:
         query = UuidQuery(measured_key)
         cold_result = server.query(scenario.column, query, k=5)
-        cold = server.stats.latencies_s[-1]
+        cold = server.stats.last_latency_s
         warm_latencies = []
         for _ in range(5):
             warm_result = server.query(scenario.column, query, k=5)
-            warm_latencies.append(server.stats.latencies_s[-1])
+            warm_latencies.append(server.stats.last_latency_s)
         # Benchmark wall-clock of the (warm) serve path itself.
         benchmark(lambda: server.query(scenario.column, query, k=5))
         stats = server.stats
@@ -190,7 +192,8 @@ def test_concurrent_clients(uuid_scenario, benchmark):
     server = _serving_stack(
         scenario, max_searchers=2, max_inflight=8
     )
-    with server:
+    hub = TelemetryHub()
+    with use_hub(hub), server:
         server.warmup()
         benchmark(lambda: server.query(scenario.column, UuidQuery(keys[0]), k=3))
         baseline_queries = server.stats.queries
@@ -248,3 +251,19 @@ def test_concurrent_clients(uuid_scenario, benchmark):
         assert stats.queries == baseline_queries + 6 * 3
         assert stats.cache_hit_rate > 0
         assert stats.qps_estimate(server.max_inflight) > 0
+        # Persist the hub so the CI slo-gate job (and `repro dashboard`)
+        # can evaluate exactly what this run observed.
+        snap = server.client.lake.snapshot()
+        hub.ledger.set_storage(
+            data_bytes=snap.total_bytes,
+            index_bytes=sum(r.size for r in server.client.meta.records()),
+        )
+        payload = write_telemetry_json(
+            results_path("TELEMETRY_serving.json"),
+            hub,
+            source="bench_serving.test_concurrent_clients",
+        )
+        # Every caller lands in the series; dedup means the ledger
+        # bills fewer flights than callers, but never zero.
+        assert hub.series("serve.queries").count() >= 6 * 3
+        assert 1 <= payload["hub"]["ledger"]["serve_queries"] <= stats.queries

@@ -205,6 +205,7 @@ def cmd_serve_bench(args) -> int:
     """Repeated-query serving benchmark: cold vs warm, concurrency."""
     import threading
 
+    from repro.obs import TelemetryHub, use_hub, write_telemetry_json
     from repro.serve import SearchServer
 
     store = LocalFSObjectStore(args.root)
@@ -217,14 +218,15 @@ def cmd_serve_bench(args) -> int:
         max_inflight=max(args.clients, 1),
     )
     query = _build_query(args)
-    with server:
+    hub = TelemetryHub()
+    with use_hub(hub), server:
         if args.warmup:
             warmed = server.warmup()
             print(f"warmed {warmed} index file(s)", file=sys.stderr)
         cold = server.query(
             args.column, query, k=args.k, partition=args.partition
         )
-        cold_latency = server.stats.latencies_s[0]
+        cold_latency = server.stats.first_latency_s
 
         def run_client() -> None:
             for _ in range(args.repeat):
@@ -239,23 +241,86 @@ def cmd_serve_bench(args) -> int:
             t.start()
         for t in threads:
             t.join()
-        warm_latency = server.stats.latencies_s[-1]
+        warm_latency = server.stats.last_latency_s
         print(
             f"# {len(cold.matches)} match(es); cold "
             f"{cold_latency * 1000:.1f} ms -> warm "
             f"{warm_latency * 1000:.1f} ms modeled"
         )
         print(server.stats.describe(server.max_inflight))
+        if args.telemetry or args.dashboard:
+            snap = server.client.lake.snapshot()
+            index_bytes = sum(
+                record.size for record in server.client.meta.records()
+            )
+            hub.ledger.set_storage(
+                data_bytes=snap.total_bytes, index_bytes=index_bytes
+            )
+    if args.telemetry:
+        write_telemetry_json(args.telemetry, hub, source="serve-bench")
+        print(f"# telemetry written to {args.telemetry}", file=sys.stderr)
+    if args.dashboard:
+        from repro.obs import write_dashboard
+
+        write_dashboard(args.dashboard, hub, source="serve-bench")
+        print(f"# dashboard written to {args.dashboard}", file=sys.stderr)
     return 0
 
 
+def cmd_dashboard(args) -> int:
+    """Render the telemetry dashboard HTML from a snapshot file."""
+    from repro.obs import load_telemetry_json, write_dashboard
+    from repro.obs.slo import default_slo
+
+    hub = load_telemetry_json(args.telemetry)
+    slo = default_slo(
+        latency_p99_s=args.latency_p99_s,
+        availability=args.availability,
+        cost_usd_per_query=args.cost_per_query,
+    )
+    write_dashboard(
+        args.out, hub, slo=slo, source=args.telemetry, title=args.title
+    )
+    print(f"dashboard written to {args.out}")
+    return 0
+
+
+def cmd_slo_check(args) -> int:
+    """Evaluate SLOs against a telemetry snapshot; exit 2 on breach."""
+    from repro.obs import load_telemetry_json
+    from repro.obs.slo import default_slo
+
+    hub = load_telemetry_json(args.telemetry)
+    slo = default_slo(
+        latency_p99_s=args.latency_p99_s,
+        availability=args.availability,
+        cost_usd_per_query=args.cost_per_query,
+    )
+    report = slo.evaluate(hub)
+    print(report.describe())
+    if report.total_events == 0:
+        print("error: telemetry contains no query events", file=sys.stderr)
+        return 3
+    return 0 if report.ok else 2
+
+
 def cmd_profile(args) -> int:
-    """One search, traced end to end: timeline, bill, reconciliation."""
+    """Traced search(es): timeline, bill, critical path, reconciliation.
+
+    With ``--repeat N`` the same query runs N times and the slowest
+    trace (by modeled latency) is the one profiled — the timeline,
+    bill, and critical path below describe the worst run, and the
+    tail-attribution line compares it against the whole batch.
+    """
     from repro.obs import (
+        TailSample,
         Tracer,
         attribute,
+        critical_path,
         price_iostats,
+        render_critical_path,
         render_timeline,
+        tail_attribution,
         use_tracer,
         write_spans_jsonl,
     )
@@ -266,6 +331,7 @@ def cmd_profile(args) -> int:
     client = RottnestClient(store, args.index_dir, lake)
     query = _build_query(args)
     tracer = Tracer()  # wall-clock spans; modeled time comes from the bill
+    repeat = max(args.repeat, 1)
     before = store.stats.snapshot()
     with use_tracer(tracer):
         if args.max_searchers > 0:
@@ -274,29 +340,48 @@ def cmd_profile(args) -> int:
             with SearchExecutor(
                 client, max_searchers=args.max_searchers
             ) as executor:
-                result = executor.search(
+                for _ in range(repeat):
+                    result = executor.search(
+                        args.column, query, k=args.k, partition=args.partition
+                    )
+        else:
+            for _ in range(repeat):
+                result = client.search(
                     args.column, query, k=args.k, partition=args.partition
                 )
-        else:
-            result = client.search(
-                args.column, query, k=args.k, partition=args.partition
-            )
     delta = store.stats.snapshot().delta(before)
 
-    root = tracer.last_root("search")
-    if root is None:
+    roots = [r for r in tracer.pop_finished() if r.name == "search"]
+    if not roots:
         raise ReproError("search finished but recorded no span tree")
     costs = CostModel()
-    bill = attribute(
-        root,
-        latency=LatencyModel(),
-        costs=costs,
-        instance_type=args.instance,
-    )
+    bills = [
+        attribute(
+            root,
+            latency=LatencyModel(),
+            costs=costs,
+            instance_type=args.instance,
+        )
+        for root in roots
+    ]
+    slowest = max(range(len(bills)), key=lambda i: bills[i].est_latency_s)
+    root, bill = roots[slowest], bills[slowest]
     print(render_timeline(root))
     print()
     print(bill.describe(costs))
-    billed = bill.total_request_cost_usd(costs)
+    print()
+    print(render_critical_path(critical_path(root)))
+    samples = [
+        TailSample(
+            total_s=b.est_latency_s,
+            at_s=float(i),
+            query=r.name,
+            phase_s={p.phase: p.est_latency_s for p in b.phases},
+        )
+        for i, (r, b) in enumerate(zip(roots, bills))
+    ]
+    print(tail_attribution(samples).headline())
+    billed = sum(b.total_request_cost_usd(costs) for b in bills)
     reference = price_iostats(delta, costs)
     verdict = "exact" if billed == reference else "MISMATCH"
     print(
@@ -487,6 +572,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--warmup", action="store_true",
         help="pre-load metadata and index roots before the cold query",
     )
+    p.add_argument(
+        "--telemetry",
+        help="write a TELEMETRY_*.json hub snapshot here after the run",
+    )
+    p.add_argument(
+        "--dashboard",
+        help="also render the HTML dashboard for this run here",
+    )
     p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser(
@@ -514,6 +607,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--instance", default="c6i.2xlarge",
         help="instance type compute time is priced against",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the query N times and profile the slowest",
     )
     p.add_argument("--spans", help="also dump the span tree as JSONL here")
     p.set_defaults(func=cmd_profile)
@@ -561,6 +658,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker counts to compare (1 is always included)",
     )
     p.set_defaults(func=cmd_maintain_bench)
+
+    def slo_flags(p):
+        p.add_argument(
+            "--latency-p99-s", type=float, default=1.0,
+            help="p99 modeled-latency objective in seconds",
+        )
+        p.add_argument(
+            "--availability", type=float, default=0.999,
+            help="fraction of queries that must complete undegraded",
+        )
+        p.add_argument(
+            "--cost-per-query", type=float, default=5e-3,
+            help="observed serve dollars per query budget",
+        )
+
+    p = sub.add_parser(
+        "dashboard",
+        help="render the telemetry dashboard HTML from a snapshot",
+    )
+    p.add_argument(
+        "--telemetry", required=True,
+        help="TELEMETRY_*.json snapshot (serve-bench --telemetry)",
+    )
+    p.add_argument("--out", required=True, help="output HTML path")
+    p.add_argument("--title", default="Rottnest deployment dashboard")
+    slo_flags(p)
+    p.set_defaults(func=cmd_dashboard)
+
+    p = sub.add_parser(
+        "slo-check",
+        help="evaluate SLO burn rates against a telemetry snapshot "
+        "(exit 2 on breach, 3 on empty telemetry)",
+    )
+    p.add_argument(
+        "--telemetry", required=True,
+        help="TELEMETRY_*.json snapshot (serve-bench --telemetry)",
+    )
+    slo_flags(p)
+    p.set_defaults(func=cmd_slo_check)
 
     p = sub.add_parser("info", help="table + index summary")
     common(p)

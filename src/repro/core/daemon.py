@@ -24,7 +24,9 @@ from repro.core.maintenance import (
     vacuum_indices,
 )
 from repro.meta.metadata_table import IndexRecord
+from repro.obs.attribution import attribute
 from repro.obs.metrics import get_registry
+from repro.obs.timeseries import get_hub
 from repro.obs.trace import get_tracer
 from repro.storage.pool import IOBudget, TracedPool
 
@@ -192,4 +194,36 @@ class MaintenanceDaemon:
             span.set("indexed", len(report.indexed))
             span.set("compacted", len(report.compacted))
         _TICKS.inc(outcome="idle" if report.idle else "acted")
+        self._record_telemetry(span, report)
         return report
+
+    def _record_telemetry(self, span, report: TickReport) -> None:
+        """Feed tick outcomes and maintenance spend into the hub.
+
+        A tick that indexed anything is billed to the ledger's one-time
+        index-build bucket (the TCO model's ``ic``); any other non-idle
+        tick bills to ongoing maintenance. Mixed ticks land entirely in
+        the index bucket — the build dominates and the split is not
+        recoverable from a single tick-level span tree.
+        """
+        hub = get_hub()
+        at_s = self.client.store.clock.now()
+        actions = (
+            len(report.indexed)
+            + len(report.index_aborts)
+            + len(report.compacted)
+            + (1 if report.vacuum is not None else 0)
+        )
+        hub.series("daemon.ticks").observe(1.0, at_s=at_s)
+        if actions:
+            hub.series("daemon.actions").observe(float(actions), at_s=at_s)
+        if report.idle:
+            return
+        bill = attribute(span)
+        request_usd = bill.total_request_cost_usd()
+        compute_usd = bill.compute_cost_usd
+        op = "index" if report.indexed else "maintain"
+        hub.ledger.record_maintain(op, request_usd, compute_usd, at_s=at_s)
+        hub.series("maintain.cost_usd").observe(
+            request_usd + compute_usd, at_s=at_s
+        )

@@ -41,6 +41,7 @@ from repro.core.maintenance import (
 from repro.meta.metadata_table import IndexRecord
 from repro.obs.attribution import DEFAULT_INSTANCE, QueryBill, attribute
 from repro.obs.metrics import get_registry
+from repro.obs.timeseries import get_hub
 from repro.obs.trace import Span, get_tracer
 from repro.storage.costs import CostModel
 from repro.storage.latency import LatencyModel
@@ -199,6 +200,9 @@ class MaintenancePipeline:
         """
         report = vacuum_indices(self.client, snapshot_id=snapshot_id)
         _RUNS.inc(op="vacuum")
+        get_hub().series("maintain.vacuum.runs").observe(
+            1.0, at_s=self.client.store.clock.now()
+        )
         return report
 
     # -- internals -----------------------------------------------------
@@ -224,5 +228,17 @@ class MaintenancePipeline:
         _RUNS.inc(op=op)
         if tasks:
             _TASKS.inc(tasks, op=op)
-        _MODELED_SECONDS.inc(report.modeled_latency(), op=op)
+        modeled_s = report.modeled_latency()
+        _MODELED_SECONDS.inc(modeled_s, op=op)
+
+        hub = get_hub()
+        at_s = self.client.store.clock.now()
+        bill = report.bill()
+        request_usd = bill.total_request_cost_usd()
+        compute_usd = bill.compute_cost_usd
+        hub.ledger.record_maintain(op, request_usd, compute_usd, at_s=at_s)
+        hub.series(f"maintain.{op}.modeled_s").observe(modeled_s, at_s=at_s)
+        hub.series("maintain.cost_usd").observe(
+            request_usd + compute_usd, at_s=at_s
+        )
         return report

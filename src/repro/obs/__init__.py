@@ -1,4 +1,4 @@
-"""Unified observability: spans, metrics, and per-query cost bills.
+"""Unified observability: spans, metrics, time-series, SLOs, bills.
 
 The paper's argument is quantitative — latency/cost decompositions
 (Fig. 8) and the TCO phase diagram (§VI) — so the reproduction needs
@@ -9,15 +9,28 @@ first-class telemetry to prove any perf claim against:
   threads;
 * :mod:`repro.obs.metrics` — a process-wide registry of labeled
   counters/gauges/histograms every storage and serving layer reports
-  into;
+  into (Prometheus-conformant text rendering);
 * :mod:`repro.obs.attribution` — joins a finished span tree with the
   storage latency/cost models into a per-query dollar/latency bill
   whose totals reconcile exactly with IOStats;
-* :mod:`repro.obs.export` — JSONL span dumps, text timelines, and the
-  stable ``BENCH_*.json`` schema benchmarks emit.
+* :mod:`repro.obs.timeseries` — the continuous layer: windowed
+  ring-buffer series and mergeable quantile sketches feeding one
+  process-wide :class:`~repro.obs.timeseries.TelemetryHub`, plus the
+  observed-dollars :class:`~repro.obs.timeseries.CostLedger`;
+* :mod:`repro.obs.critical_path` — per-trace critical paths and
+  aggregate p50-vs-p99 tail attribution over many queries;
+* :mod:`repro.obs.slo` — declarative latency/availability/cost
+  objectives evaluated as multi-window burn rates (``repro slo-check``
+  turns the verdict into an exit code);
+* :mod:`repro.obs.dashboard` — a dependency-free HTML report with the
+  deployment's measured position on the TCO phase diagram;
+* :mod:`repro.obs.export` — JSONL span dumps, text timelines, the
+  stable ``BENCH_*.json`` schema benchmarks emit, and the
+  ``TELEMETRY_*.json`` hub snapshots the SLO gate evaluates.
 
 Any later PR claiming a speedup demonstrates it through this module:
-``repro profile`` for one query, ``BENCH_*.json`` for the trajectory.
+``repro profile`` for one query, ``BENCH_*.json`` for the trajectory,
+``repro slo-check`` for the gate.
 """
 
 from repro.obs.attribution import (
@@ -26,14 +39,32 @@ from repro.obs.attribution import (
     attribute,
     price_iostats,
 )
+from repro.obs.critical_path import (
+    CriticalStep,
+    TailRecorder,
+    TailReport,
+    TailSample,
+    critical_path,
+    render_critical_path,
+    tail_attribution,
+)
+from repro.obs.dashboard import (
+    MeasuredDeployment,
+    measured_deployment,
+    render_dashboard,
+    write_dashboard,
+)
 from repro.obs.export import (
     BENCH_SCHEMA,
+    TELEMETRY_SCHEMA,
+    load_telemetry_json,
     render_timeline,
     span_to_dict,
     spans_to_jsonl,
     update_bench_json,
     validate_bench,
     write_spans_jsonl,
+    write_telemetry_json,
 )
 from repro.obs.metrics import (
     Counter,
@@ -41,6 +72,24 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+)
+from repro.obs.slo import (
+    SLO,
+    AvailabilityObjective,
+    CostObjective,
+    LatencyObjective,
+    SLOReport,
+    default_slo,
+)
+from repro.obs.timeseries import (
+    CostLedger,
+    QuantileSketch,
+    TelemetryHub,
+    WindowedQuantiles,
+    WindowedSeries,
+    get_hub,
+    set_hub,
+    use_hub,
 )
 from repro.obs.trace import (
     Span,
@@ -53,25 +102,53 @@ from repro.obs.trace import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "TELEMETRY_SCHEMA",
+    "AvailabilityObjective",
+    "CostLedger",
+    "CostObjective",
     "Counter",
+    "CriticalStep",
     "Gauge",
     "Histogram",
+    "LatencyObjective",
+    "MeasuredDeployment",
     "MetricsRegistry",
     "PhaseBill",
+    "QuantileSketch",
     "QueryBill",
+    "SLO",
+    "SLOReport",
     "Span",
     "SpanEvent",
+    "TailRecorder",
+    "TailReport",
+    "TailSample",
+    "TelemetryHub",
     "Tracer",
+    "WindowedQuantiles",
+    "WindowedSeries",
     "attribute",
+    "critical_path",
+    "default_slo",
+    "get_hub",
     "get_registry",
     "get_tracer",
+    "load_telemetry_json",
+    "measured_deployment",
     "price_iostats",
+    "render_critical_path",
+    "render_dashboard",
     "render_timeline",
+    "set_hub",
     "set_tracer",
     "span_to_dict",
     "spans_to_jsonl",
+    "tail_attribution",
     "update_bench_json",
+    "use_hub",
     "use_tracer",
     "validate_bench",
+    "write_dashboard",
     "write_spans_jsonl",
+    "write_telemetry_json",
 ]

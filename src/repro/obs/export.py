@@ -1,6 +1,6 @@
-"""Exporters: JSONL span dumps, text timelines, and BENCH_*.json.
+"""Exporters: JSONL span dumps, timelines, BENCH_*.json, telemetry.
 
-Three consumers, three formats:
+Four consumers, four formats:
 
 * **machines** get :func:`spans_to_jsonl` — one flattened span per line
   (``span_id``/``parent_id`` restore the tree), attributes made
@@ -10,7 +10,14 @@ Three consumers, three formats:
 * **the perf trajectory** gets the ``BENCH_*.json`` schema
   (:data:`BENCH_SCHEMA`): a stable envelope every benchmark writes via
   :func:`update_bench_json`, so successive PRs produce machine-diffable
-  before/after numbers instead of free-form text.
+  before/after numbers instead of free-form text;
+* **offline SLO/dashboard evaluation** gets the
+  ``TELEMETRY_<name>.json`` schema (:data:`TELEMETRY_SCHEMA`): one
+  :class:`~repro.obs.timeseries.TelemetryHub` snapshot — every windowed
+  series, per-window quantile sketch, tail sample, and the cost ledger —
+  written by a benchmark or serving process via
+  :func:`write_telemetry_json` and rehydrated by ``repro slo-check`` /
+  ``repro dashboard`` via :func:`load_telemetry_json`.
 """
 
 from __future__ import annotations
@@ -19,10 +26,14 @@ import json
 import os
 from typing import Iterable
 
+from repro.obs.timeseries import TelemetryHub
 from repro.obs.trace import Span
 
 #: Version tag inside every BENCH_*.json payload; bump on breaking change.
 BENCH_SCHEMA = "repro.bench/v1"
+
+#: Version tag inside every telemetry snapshot; bump on breaking change.
+TELEMETRY_SCHEMA = "repro.telemetry/v1"
 
 
 # ---------------------------------------------------------------------
@@ -202,3 +213,40 @@ def update_bench_json(
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
     return payload
+
+
+# ---------------------------------------------------------------------
+# TELEMETRY_*.json
+# ---------------------------------------------------------------------
+def telemetry_payload(hub: TelemetryHub, *, source: str = "") -> dict:
+    """A hub snapshot wrapped in the versioned telemetry envelope."""
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "source": source,
+        "hub": hub.snapshot(),
+    }
+
+
+def write_telemetry_json(
+    path: str, hub: TelemetryHub, *, source: str = ""
+) -> dict:
+    """Persist ``hub`` so another process can evaluate/plot it."""
+    payload = telemetry_payload(hub, source=source)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return payload
+
+
+def load_telemetry_json(path: str) -> TelemetryHub:
+    """Rehydrate a hub from a :func:`write_telemetry_json` snapshot."""
+    with open(path) as f:
+        payload = json.load(f)
+    if payload.get("schema") != TELEMETRY_SCHEMA:
+        raise ValueError(
+            f"bad schema tag {payload.get('schema')!r}; "
+            f"want {TELEMETRY_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("hub"), dict):
+        raise ValueError("missing 'hub' snapshot")
+    return TelemetryHub.from_snapshot(payload["hub"])

@@ -229,11 +229,17 @@ class MetricsRegistry:
         return out
 
     def render(self) -> str:
-        """Prometheus-exposition-style text of every instrument."""
+        """Prometheus-exposition-style text of every instrument.
+
+        Conformant with the text exposition format's escaping rules:
+        HELP text escapes backslash and newline; label values (already
+        escaped by :func:`_fmt_labels`) additionally escape the double
+        quote.
+        """
         lines: list[str] = []
         for name, data in sorted(self.snapshot().items()):
             if data["help"]:
-                lines.append(f"# HELP {name} {data['help']}")
+                lines.append(f"# HELP {name} {_escape_help(data['help'])}")
             lines.append(f"# TYPE {name} {data['kind']}")
             for key, value in sorted(data["series"].items()):
                 suffix = f"{{{key}}}" if key else ""
@@ -250,8 +256,22 @@ class MetricsRegistry:
         return "\n".join(lines)
 
 
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the Prometheus text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Label-value escaping per the Prometheus text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
 def _fmt_labels(names: tuple[str, ...], values: _LabelKey) -> str:
-    return ",".join(f'{n}="{v}"' for n, v in zip(names, values))
+    return ",".join(
+        f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)
+    )
 
 
 _global_registry = MetricsRegistry()

@@ -1,0 +1,697 @@
+"""Continuous telemetry: windowed time-series and quantile sketches.
+
+``repro.obs`` so far produced *point-in-time* artifacts — one span tree,
+one bill, one metrics snapshot. A running :class:`SearchServer` or
+maintenance daemon needs the other axis: how latency, throughput, and
+cost evolve over time, with tail percentiles per window and bounded
+memory no matter how many queries flow through. Two primitives provide
+that:
+
+* :class:`WindowedSeries` — a ring buffer of fixed-width time windows,
+  each holding commutative aggregates (count/sum/min/max), so rates and
+  gauges are available per window and observations arriving out of
+  order *within* a window land identically (an invariance a hypothesis
+  test pins).
+* :class:`QuantileSketch` — a DDSketch-style mergeable sketch with
+  log-spaced bins: any quantile estimate is within a configured
+  *relative* error of a true sample at that rank, merge is associative
+  and commutative (so per-window sketches roll up into multi-window
+  percentiles exactly), and memory is bounded by ``max_bins``
+  regardless of observation count.
+
+:class:`WindowedQuantiles` composes the two (one sketch per retained
+window); :class:`CostLedger` accumulates observed serve/maintain
+dollars so the dashboard can place a deployment on the TCO phase
+diagram; :class:`TelemetryHub` is the process-wide registry every
+subsystem reports into, mirroring :func:`repro.obs.metrics.get_registry`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.critical_path import TailRecorder
+
+#: Default window width for hub series (operators think in minutes).
+DEFAULT_WINDOW_S = 60.0
+
+#: Default retained windows per series (4 hours at 60 s windows).
+DEFAULT_CAPACITY = 240
+
+#: Default relative-error bound for quantile sketches (1%).
+DEFAULT_RELATIVE_ACCURACY = 0.01
+
+
+class QuantileSketch:
+    """Mergeable quantile sketch with a relative-error guarantee.
+
+    DDSketch-style: a positive value ``v`` lands in bin
+    ``ceil(log_gamma(v))`` where ``gamma = (1 + a) / (1 - a)`` for
+    relative accuracy ``a``; the bin's midpoint estimate
+    ``2 * gamma^i / (gamma + 1)`` is then within ``a * v`` of every
+    value the bin holds. Bin counts are a plain dict, so ``merge`` is
+    bin-wise addition — associative, commutative, and exact (two
+    sketches over disjoint sample sets merge into precisely the sketch
+    of the union). Values at or below ``min_positive`` share one zero
+    bin. When the sketch exceeds ``max_bins`` the *lowest* bins collapse
+    together, trading accuracy at the cheap end of the distribution to
+    keep the tail — the percentiles operators watch — exact to the
+    bound. Thread-safe.
+    """
+
+    __slots__ = (
+        "relative_accuracy",
+        "max_bins",
+        "min_positive",
+        "_gamma",
+        "_log_gamma",
+        "_bins",
+        "_zero_count",
+        "count",
+        "sum",
+        "_min",
+        "_max",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        *,
+        max_bins: int = 2048,
+        min_positive: float = 1e-12,
+    ) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1), got {relative_accuracy}"
+            )
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        self.relative_accuracy = relative_accuracy
+        self.max_bins = max_bins
+        self.min_positive = min_positive
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        self._bins: dict[int, int] = {}
+        self._zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    # -- ingest --------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one non-negative observation."""
+        if value < 0:
+            raise ValueError(f"sketch values must be >= 0, got {value}")
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            if value <= self.min_positive:
+                self._zero_count += 1
+                return
+            index = math.ceil(math.log(value) / self._log_gamma)
+            self._bins[index] = self._bins.get(index, 0) + 1
+            if len(self._bins) > self.max_bins:
+                self._collapse_locked()
+
+    def _collapse_locked(self) -> None:
+        """Fold the lowest bin into its neighbor (keeps the tail exact)."""
+        ordered = sorted(self._bins)
+        lowest, neighbor = ordered[0], ordered[1]
+        self._bins[neighbor] += self._bins.pop(lowest)
+
+    # -- read ----------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    @property
+    def bin_count(self) -> int:
+        """Bins currently held — the O(1)-in-observations memory bound."""
+        with self._lock:
+            return len(self._bins) + (1 if self._zero_count else 0)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (nearest rank, 0-indexed).
+
+        The estimate is within ``relative_accuracy`` (relative) of the
+        true sample at rank ``round(q * (count - 1))``, clamped to the
+        observed min/max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = int(math.floor(q * (self.count - 1) + 0.5))
+            if rank < self._zero_count:
+                return self._min if self._min > 0 else 0.0
+            cumulative = self._zero_count
+            estimate = self._max
+            for index in sorted(self._bins):
+                cumulative += self._bins[index]
+                if cumulative > rank:
+                    estimate = 2.0 * self._gamma**index / (self._gamma + 1.0)
+                    break
+            return min(max(estimate, self._min), self._max)
+
+    def count_above(self, threshold: float) -> int:
+        """Approximate count of observations above ``threshold``.
+
+        Whole bins are classified by their midpoint estimate, so the
+        boundary bin may be counted either way — an error bounded by
+        that single bin's population (used for SLO burn rates, where
+        the threshold sits far from the bulk of the distribution).
+        """
+        with self._lock:
+            return sum(
+                n
+                for index, n in self._bins.items()
+                if 2.0 * self._gamma**index / (self._gamma + 1.0) > threshold
+            )
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """This sketch plus ``other`` as a new sketch (inputs unchanged).
+
+        Associative and commutative; both sketches must share the same
+        relative accuracy so bins line up.
+        """
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                "cannot merge sketches with different relative accuracy: "
+                f"{self.relative_accuracy} vs {other.relative_accuracy}"
+            )
+        merged = QuantileSketch(
+            self.relative_accuracy,
+            max_bins=max(self.max_bins, other.max_bins),
+            min_positive=self.min_positive,
+        )
+        for source in (self, other):
+            with source._lock:
+                for index, n in source._bins.items():
+                    merged._bins[index] = merged._bins.get(index, 0) + n
+                merged._zero_count += source._zero_count
+                merged.count += source.count
+                merged.sum += source.sum
+                merged._min = min(merged._min, source._min)
+                merged._max = max(merged._max, source._max)
+        while len(merged._bins) > merged.max_bins:
+            merged._collapse_locked()
+        return merged
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "relative_accuracy": self.relative_accuracy,
+                "max_bins": self.max_bins,
+                "bins": {str(i): n for i, n in self._bins.items()},
+                "zero_count": self._zero_count,
+                "count": self.count,
+                "sum": self.sum,
+                "min": self._min if self.count else None,
+                "max": self._max if self.count else None,
+            }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuantileSketch":
+        sketch = cls(
+            float(data["relative_accuracy"]),
+            max_bins=int(data.get("max_bins", 2048)),
+        )
+        sketch._bins = {int(i): int(n) for i, n in data["bins"].items()}
+        sketch._zero_count = int(data["zero_count"])
+        sketch.count = int(data["count"])
+        sketch.sum = float(data["sum"])
+        if data.get("min") is not None:
+            sketch._min = float(data["min"])
+        if data.get("max") is not None:
+            sketch._max = float(data["max"])
+        return sketch
+
+
+@dataclass
+class WindowAggregate:
+    """Commutative per-window aggregates (order-invariant by design)."""
+
+    index: int
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def absorb(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WindowAggregate":
+        agg = cls(index=int(data["index"]))
+        agg.count = int(data["count"])
+        agg.total = float(data["total"])
+        if data.get("min") is not None:
+            agg.min = float(data["min"])
+        if data.get("max") is not None:
+            agg.max = float(data["max"])
+        return agg
+
+
+class WindowedSeries:
+    """Ring buffer of fixed-width time windows holding rate/gauge data.
+
+    ``observe(value, at_s=t)`` lands in window ``floor(t / window_s)``;
+    only the newest ``capacity`` windows are retained (older windows are
+    evicted, observations older than the horizon are counted in
+    ``late_dropped`` rather than silently lost). Aggregation per window
+    is count/sum/min/max — all commutative, so observations arriving
+    out of order within a window produce identical state. Thread-safe.
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.window_s = window_s
+        self.capacity = capacity
+        self.late_dropped = 0
+        self._windows: dict[int, WindowAggregate] = {}
+        self._newest: int | None = None
+        self._lock = threading.Lock()
+
+    def window_index(self, at_s: float) -> int:
+        return int(math.floor(at_s / self.window_s))
+
+    def observe(self, value: float = 1.0, *, at_s: float) -> None:
+        index = self.window_index(at_s)
+        with self._lock:
+            if self._newest is not None and index <= self._newest - self.capacity:
+                self.late_dropped += 1
+                return
+            if self._newest is None or index > self._newest:
+                self._newest = max(self._newest or index, index)
+            agg = self._windows.get(index)
+            if agg is None:
+                agg = WindowAggregate(index=index)
+                self._windows[index] = agg
+            agg.absorb(value)
+            horizon = self._newest - self.capacity
+            for stale in [i for i in self._windows if i <= horizon]:
+                del self._windows[stale]
+
+    # -- read ----------------------------------------------------------
+    def points(self) -> list[WindowAggregate]:
+        """Retained windows, oldest first."""
+        with self._lock:
+            return [self._windows[i] for i in sorted(self._windows)]
+
+    def total(self, last: int | None = None) -> float:
+        """Sum of values over the last ``last`` windows (all if None)."""
+        return sum(p.total for p in self._tail(last))
+
+    def count(self, last: int | None = None) -> int:
+        return sum(p.count for p in self._tail(last))
+
+    def rate_per_s(self, last: int | None = None) -> float:
+        """Observations per second over the covered window span."""
+        points = self._tail(last)
+        if not points:
+            return 0.0
+        span = (points[-1].index - points[0].index + 1) * self.window_s
+        return sum(p.count for p in points) / span
+
+    def _tail(self, last: int | None) -> list[WindowAggregate]:
+        points = self.points()
+        return points if last is None else points[-last:]
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "window_s": self.window_s,
+                "capacity": self.capacity,
+                "late_dropped": self.late_dropped,
+                "windows": [
+                    self._windows[i].to_dict() for i in sorted(self._windows)
+                ],
+            }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WindowedSeries":
+        series = cls(
+            float(data["window_s"]), capacity=int(data["capacity"])
+        )
+        series.late_dropped = int(data.get("late_dropped", 0))
+        for row in data["windows"]:
+            agg = WindowAggregate.from_dict(row)
+            series._windows[agg.index] = agg
+            series._newest = (
+                agg.index
+                if series._newest is None
+                else max(series._newest, agg.index)
+            )
+        return series
+
+
+class WindowedQuantiles:
+    """One :class:`QuantileSketch` per retained time window.
+
+    Per-window percentiles answer "what was p99 *this minute*"; the
+    associative sketch merge rolls any span of windows into one sketch,
+    so multi-window percentiles (the SLO horizon, the dashboard's
+    headline p99) are computed from the same state without retaining a
+    single raw sample. Thread-safe.
+    """
+
+    def __init__(
+        self,
+        window_s: float = DEFAULT_WINDOW_S,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.window_s = window_s
+        self.capacity = capacity
+        self.relative_accuracy = relative_accuracy
+        self._sketches: dict[int, QuantileSketch] = {}
+        self._newest: int | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, *, at_s: float) -> None:
+        index = int(math.floor(at_s / self.window_s))
+        with self._lock:
+            if self._newest is not None and index <= self._newest - self.capacity:
+                return
+            if self._newest is None or index > self._newest:
+                self._newest = max(self._newest or index, index)
+            sketch = self._sketches.get(index)
+            if sketch is None:
+                sketch = QuantileSketch(self.relative_accuracy)
+                self._sketches[index] = sketch
+            horizon = self._newest - self.capacity
+            for stale in [i for i in self._sketches if i <= horizon]:
+                del self._sketches[stale]
+        sketch.observe(value)
+
+    def windows(self) -> list[tuple[int, QuantileSketch]]:
+        """Retained (window index, sketch) pairs, oldest first."""
+        with self._lock:
+            return [(i, self._sketches[i]) for i in sorted(self._sketches)]
+
+    def merged(self, last: int | None = None) -> QuantileSketch:
+        """All (or the last ``last``) windows merged into one sketch."""
+        pairs = self.windows()
+        if last is not None:
+            pairs = pairs[-last:]
+        merged = QuantileSketch(self.relative_accuracy)
+        for _, sketch in pairs:
+            merged = merged.merge(sketch)
+        return merged
+
+    def quantile_series(self, q: float) -> list[tuple[int, float]]:
+        """Per-window quantile estimates, oldest first."""
+        return [(i, sketch.quantile(q)) for i, sketch in self.windows()]
+
+    def to_dict(self) -> dict:
+        return {
+            "window_s": self.window_s,
+            "capacity": self.capacity,
+            "relative_accuracy": self.relative_accuracy,
+            "windows": {
+                str(i): sketch.to_dict() for i, sketch in self.windows()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WindowedQuantiles":
+        wq = cls(
+            float(data["window_s"]),
+            capacity=int(data["capacity"]),
+            relative_accuracy=float(data["relative_accuracy"]),
+        )
+        for i, sketch_data in data["windows"].items():
+            index = int(i)
+            wq._sketches[index] = QuantileSketch.from_dict(sketch_data)
+            wq._newest = index if wq._newest is None else max(wq._newest, index)
+        return wq
+
+
+@dataclass
+class CostLedger:
+    """Observed dollars, accumulated in the TCO model's own coordinates.
+
+    The phase diagram compares approaches by ``index_cost +
+    cost_per_month * months + cost_per_query * queries``; this ledger
+    keeps the measured counterparts — serve dollars per query, one-time
+    index-build dollars, ongoing maintenance dollars, storage bytes —
+    so the dashboard can place *this* deployment on the diagram next to
+    the model's frontiers. Pure accumulation (floats and a lock), no
+    model imports; folding through :mod:`repro.tco` happens at render
+    time.
+    """
+
+    serve_request_usd: float = 0.0
+    serve_compute_usd: float = 0.0
+    serve_queries: int = 0
+    maintain_request_usd: float = 0.0
+    maintain_compute_usd: float = 0.0
+    index_build_usd: float = 0.0
+    data_bytes: int = 0
+    index_bytes: int = 0
+    first_at_s: float | None = None
+    last_at_s: float | None = None
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def _touch_locked(self, at_s: float) -> None:
+        if self.first_at_s is None or at_s < self.first_at_s:
+            self.first_at_s = at_s
+        if self.last_at_s is None or at_s > self.last_at_s:
+            self.last_at_s = at_s
+
+    def record_query(
+        self, request_usd: float, compute_usd: float, *, at_s: float
+    ) -> None:
+        with self._lock:
+            self.serve_request_usd += request_usd
+            self.serve_compute_usd += compute_usd
+            self.serve_queries += 1
+            self._touch_locked(at_s)
+
+    def record_maintain(
+        self, op: str, request_usd: float, compute_usd: float, *, at_s: float
+    ) -> None:
+        """Maintenance spend; ``op == "index"`` counts as the one-time
+        index cost (the TCO model's ``ic_r``), everything else as
+        ongoing monthly maintenance."""
+        with self._lock:
+            if op == "index":
+                self.index_build_usd += request_usd + compute_usd
+            else:
+                self.maintain_request_usd += request_usd
+                self.maintain_compute_usd += compute_usd
+            self._touch_locked(at_s)
+
+    def set_storage(self, data_bytes: int, index_bytes: int) -> None:
+        with self._lock:
+            self.data_bytes = int(data_bytes)
+            self.index_bytes = int(index_bytes)
+
+    # -- read ----------------------------------------------------------
+    @property
+    def serve_usd(self) -> float:
+        return self.serve_request_usd + self.serve_compute_usd
+
+    @property
+    def maintain_usd(self) -> float:
+        return self.maintain_request_usd + self.maintain_compute_usd
+
+    @property
+    def cost_per_query_usd(self) -> float:
+        return self.serve_usd / self.serve_queries if self.serve_queries else 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        if self.first_at_s is None or self.last_at_s is None:
+            return 0.0
+        return self.last_at_s - self.first_at_s
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "serve_request_usd": self.serve_request_usd,
+                "serve_compute_usd": self.serve_compute_usd,
+                "serve_queries": self.serve_queries,
+                "maintain_request_usd": self.maintain_request_usd,
+                "maintain_compute_usd": self.maintain_compute_usd,
+                "index_build_usd": self.index_build_usd,
+                "data_bytes": self.data_bytes,
+                "index_bytes": self.index_bytes,
+                "first_at_s": self.first_at_s,
+                "last_at_s": self.last_at_s,
+            }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CostLedger":
+        ledger = cls()
+        for name in (
+            "serve_request_usd",
+            "serve_compute_usd",
+            "maintain_request_usd",
+            "maintain_compute_usd",
+            "index_build_usd",
+        ):
+            setattr(ledger, name, float(data.get(name, 0.0)))
+        ledger.serve_queries = int(data.get("serve_queries", 0))
+        ledger.data_bytes = int(data.get("data_bytes", 0))
+        ledger.index_bytes = int(data.get("index_bytes", 0))
+        if data.get("first_at_s") is not None:
+            ledger.first_at_s = float(data["first_at_s"])
+        if data.get("last_at_s") is not None:
+            ledger.last_at_s = float(data["last_at_s"])
+        return ledger
+
+
+class TelemetryHub:
+    """Process-wide registry of windowed series, sketches, and costs.
+
+    The continuous-telemetry twin of
+    :func:`repro.obs.metrics.get_registry`: the serve, daemon, and
+    maintenance layers report named series here; the SLO evaluator and
+    the dashboard read them back. ``snapshot()`` / ``from_snapshot``
+    round-trip the whole hub through JSON so a benchmark run can emit
+    its telemetry and ``repro slo-check`` / ``repro dashboard`` can
+    evaluate it in another process.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float = DEFAULT_WINDOW_S,
+        capacity: int = DEFAULT_CAPACITY,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        tail_capacity: int = 4096,
+    ) -> None:
+        self.window_s = window_s
+        self.capacity = capacity
+        self.relative_accuracy = relative_accuracy
+        self.tail = TailRecorder(capacity=tail_capacity)
+        self.ledger = CostLedger()
+        self._series: dict[str, WindowedSeries] = {}
+        self._quantiles: dict[str, WindowedQuantiles] = {}
+        self._lock = threading.Lock()
+
+    def series(self, name: str) -> WindowedSeries:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = WindowedSeries(
+                    self.window_s, capacity=self.capacity
+                )
+                self._series[name] = series
+            return series
+
+    def quantiles(self, name: str) -> WindowedQuantiles:
+        with self._lock:
+            wq = self._quantiles.get(name)
+            if wq is None:
+                wq = WindowedQuantiles(
+                    self.window_s,
+                    capacity=self.capacity,
+                    relative_accuracy=self.relative_accuracy,
+                )
+                self._quantiles[name] = wq
+            return wq
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every series, sketch, tail sample, and the
+        cost ledger."""
+        with self._lock:
+            series = dict(self._series)
+            quantiles = dict(self._quantiles)
+        return {
+            "window_s": self.window_s,
+            "capacity": self.capacity,
+            "relative_accuracy": self.relative_accuracy,
+            "series": {name: s.to_dict() for name, s in series.items()},
+            "quantiles": {name: q.to_dict() for name, q in quantiles.items()},
+            "tail": self.tail.to_dict(),
+            "ledger": self.ledger.to_dict(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "TelemetryHub":
+        hub = cls(
+            window_s=float(data["window_s"]),
+            capacity=int(data["capacity"]),
+            relative_accuracy=float(data["relative_accuracy"]),
+        )
+        for name, series_data in data.get("series", {}).items():
+            hub._series[name] = WindowedSeries.from_dict(series_data)
+        for name, wq_data in data.get("quantiles", {}).items():
+            hub._quantiles[name] = WindowedQuantiles.from_dict(wq_data)
+        hub.tail = TailRecorder.from_dict(data.get("tail", {"samples": []}))
+        hub.ledger = CostLedger.from_dict(data.get("ledger", {}))
+        return hub
+
+
+_global_hub = TelemetryHub()
+_global_lock = threading.Lock()
+
+
+def get_hub() -> TelemetryHub:
+    """The process-wide default telemetry hub."""
+    return _global_hub
+
+
+def set_hub(hub: TelemetryHub) -> TelemetryHub:
+    """Replace the default hub; returns the previous one."""
+    global _global_hub
+    with _global_lock:
+        previous, _global_hub = _global_hub, hub
+    return previous
+
+
+@contextmanager
+def use_hub(hub: TelemetryHub):
+    """Scope: make ``hub`` the default for the duration of the block."""
+    previous = set_hub(hub)
+    try:
+        yield hub
+    finally:
+        set_hub(previous)

@@ -38,6 +38,7 @@ from repro.formats.page_reader import PageEntry, read_page
 from repro.indices.base import ExactQuerier, ScoringQuerier, querier_for
 from repro.lake.snapshot import Snapshot
 from repro.meta.metadata_table import IndexRecord
+from repro.obs.timeseries import get_hub
 from repro.obs.trace import get_tracer
 from repro.storage.pool import IOBudget, TracedPool
 from repro.storage.stats import RequestTrace
@@ -93,6 +94,10 @@ class SearchExecutor:
     def _fan_out(self, tasks: list[Callable[[], T]]) -> tuple[RequestTrace, list[T]]:
         """Run tasks on the shared pool in waves of ``max_searchers``;
         see :meth:`TracedPool.run` for trace composition and ordering."""
+        if tasks:
+            get_hub().series("serve.fanout_tasks").observe(
+                float(len(tasks)), at_s=self.client.store.clock.now()
+            )
         return self._pool.run(tasks)
 
     # -- public API ----------------------------------------------------

@@ -34,11 +34,14 @@ from repro.errors import (
 )
 from repro.lake.snapshot import Snapshot
 from repro.lake.table import LakeTable
+from repro.obs.attribution import attribute
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S, get_registry
+from repro.obs.timeseries import QuantileSketch, get_hub
 from repro.obs.trace import get_tracer
 from repro.serve.cache import CacheStats, CachingObjectStore
 from repro.serve.executor import SearchExecutor
 from repro.serve.singleflight import SingleFlight
+from repro.storage.costs import CostModel
 from repro.storage.latency import LatencyModel
 from repro.storage.object_store import ObjectStore
 from repro.tco.throughput import ThroughputModel
@@ -70,22 +73,44 @@ def _percentile(sorted_values: list[float], q: float) -> float:
 
 @dataclass
 class ServeStats:
-    """Aggregate serving report for one :class:`SearchServer`."""
+    """Aggregate serving report for one :class:`SearchServer`.
+
+    Latency percentiles are backed by a mergeable
+    :class:`~repro.obs.timeseries.QuantileSketch`, so memory stays
+    O(sketch bins) — constant in query count — while ``p50_s`` /
+    ``p90_s`` / ``p99_s`` remain available at the sketch's configured
+    relative accuracy (1% by default). The first and last modeled
+    latencies are kept verbatim for the cold-vs-warm comparison the
+    ``serve-bench`` CLI and benchmarks print.
+    """
 
     queries: int = 0
     rejected: int = 0  # shed by admission control
     deduplicated: int = 0  # served by another query's flight
     degraded: int = 0  # answered via brute-force fallback
     total_requests: int = 0  # object-store requests across all queries
-    latencies_s: list[float] = field(default_factory=list)  # modeled
+    latency_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+    first_latency_s: float | None = None  # the cold query
+    last_latency_s: float | None = None  # the most recent (warm) query
     cache: CacheStats | None = None
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one modeled per-query latency."""
+        if self.first_latency_s is None:
+            self.first_latency_s = seconds
+        self.last_latency_s = seconds
+        self.latency_sketch.observe(seconds)
+
+    @property
+    def latency_count(self) -> int:
+        return self.latency_sketch.count
 
     @property
     def mean_latency_s(self) -> float:
-        return sum(self.latencies_s) / len(self.latencies_s) if self.latencies_s else 0.0
+        return self.latency_sketch.mean
 
     def percentile(self, q: float) -> float:
-        return _percentile(sorted(self.latencies_s), q)
+        return self.latency_sketch.quantile(q)
 
     @property
     def p50_s(self) -> float:
@@ -174,6 +199,7 @@ class SearchServer:
         max_inflight: int = 8,
         shed_on_overload: bool = False,
         latency_model: LatencyModel | None = None,
+        cost_model: CostModel | None = None,
     ) -> None:
         if max_inflight < 1:
             raise ServeError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -182,6 +208,7 @@ class SearchServer:
         self.max_inflight = max_inflight
         self.shed_on_overload = shed_on_overload
         self.latency_model = latency_model or LatencyModel()
+        self.cost_model = cost_model or CostModel()
         self.stats = ServeStats(cache=self._find_cache_stats(client.store))
         self._admission = threading.BoundedSemaphore(max_inflight)
         self._flights = SingleFlight()
@@ -297,8 +324,15 @@ class SearchServer:
                 snapshot.version if snapshot is not None else None,
                 partition,
             )
+            # Only the flight leader executes, so only it holds the
+            # finished span tree (and therefore the attribution bill);
+            # shared callers record a latency observation and nothing
+            # else — costs were incurred exactly once.
+            flight = {"root": None, "degraded": False}
+
             def execute() -> SearchResult:
-                with get_tracer().span("serve.query", column=column, k=k):
+                with get_tracer().span("serve.query", column=column, k=k) as root:
+                    flight["root"] = root
                     try:
                         return self.executor.search(
                             column,
@@ -316,6 +350,7 @@ class SearchServer:
                         # failing the query. Data-file losses surface
                         # as SnapshotNotFound and still propagate.
                         _DEGRADED.inc()
+                        flight["degraded"] = True
                         with self._stats_lock:
                             self.stats.degraded += 1
                         with get_tracer().span(
@@ -337,10 +372,49 @@ class SearchServer:
                 if shared:
                     self.stats.deduplicated += 1
                 self.stats.total_requests += result.stats.trace.total_requests
-                self.stats.latencies_s.append(modeled_s)
+                self.stats.observe_latency(modeled_s)
             _QUERIES.inc(status="deduplicated" if shared else "served")
             _LATENCY.observe(modeled_s)
+            self._record_telemetry(
+                modeled_s,
+                root=None if shared else flight["root"],
+                degraded=flight["degraded"] and not shared,
+            )
             return result
         finally:
             _INFLIGHT.add(-1)
             self._admission.release()
+
+    def _record_telemetry(
+        self,
+        modeled_s: float,
+        *,
+        root,
+        degraded: bool,
+    ) -> None:
+        """Feed the per-query outcome into the process telemetry hub.
+
+        Every caller (leader or deduplicated) contributes a latency
+        observation and a query count — that is what it experienced.
+        Only the flight leader carries ``root`` (the finished span
+        tree), so only it is attributed into dollars, the cost ledger,
+        and the tail recorder: the spend happened once.
+        """
+        hub = get_hub()
+        at_s = self.client.store.clock.now()
+        hub.quantiles("serve.latency_s").observe(modeled_s, at_s=at_s)
+        hub.series("serve.queries").observe(1.0, at_s=at_s)
+        if degraded:
+            hub.series("serve.degraded").observe(1.0, at_s=at_s)
+        if root is None or root.end_s is None:
+            return
+        bill = attribute(
+            root, latency=self.latency_model, costs=self.cost_model
+        )
+        request_usd = bill.total_request_cost_usd(self.cost_model)
+        compute_usd = bill.compute_cost_usd
+        hub.series("serve.cost_usd").observe(
+            request_usd + compute_usd, at_s=at_s
+        )
+        hub.ledger.record_query(request_usd, compute_usd, at_s=at_s)
+        hub.tail.record_bill(bill, modeled_s, at_s=at_s, degraded=degraded)

@@ -87,6 +87,24 @@ class IOStats:
             bytes_written=self.bytes_written - earlier.bytes_written,
         )
 
+    @property
+    def total_requests(self) -> int:
+        """All operations regardless of kind (reconciliation totals)."""
+        return self.gets + self.puts + self.lists + self.deletes + self.heads
+
+    def as_dict(self) -> dict:
+        """JSON-safe counter dump (telemetry snapshots, dashboards)."""
+        return {
+            "gets": self.gets,
+            "puts": self.puts,
+            "lists": self.lists,
+            "deletes": self.deletes,
+            "heads": self.heads,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "total_requests": self.total_requests,
+        }
+
 
 class RequestTrace:
     """Requests grouped into sequential *rounds*.

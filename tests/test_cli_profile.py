@@ -61,6 +61,23 @@ def test_profile_prints_bill_and_reconciles(indexed_bucket, capsys):
     assert "MISMATCH" not in out
 
 
+def test_profile_prints_critical_path_and_tail_line(indexed_bucket, capsys):
+    bucket, keys = indexed_bucket
+    code = main([
+        "profile", "--root", bucket, "--table", "lake/logs",
+        "--index-dir", "idx/logs", "--column", "request_id",
+        "--uuid", keys[5].hex(), "--repeat", "3",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "critical path (follow the last-finishing child):" in out
+    # The tail-attribution headline compares the batch's tail vs median.
+    assert "is dominated by" in out
+    assert "p50 is" in out
+    # Reconciliation still holds when the bill aggregates 3 runs.
+    assert "[exact]" in out
+
+
 def test_profile_executor_path_and_spans_dump(indexed_bucket, capsys, tmp_path):
     bucket, keys = indexed_bucket
     spans_path = tmp_path / "spans.jsonl"

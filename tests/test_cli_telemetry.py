@@ -1,0 +1,103 @@
+"""`repro serve-bench --telemetry`, `repro slo-check`, `repro dashboard`."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import TELEMETRY_SCHEMA, load_telemetry_json
+
+
+@pytest.fixture
+def indexed_bucket(tmp_path, capsys):
+    bucket = str(tmp_path / "bucket")
+    assert main([
+        "create-table", "--root", bucket, "--table", "lake/logs",
+        "--schema", "request_id:binary",
+        "--row-group-rows", "100", "--page-target-bytes", "1024",
+    ]) == 0
+    keys = [hashlib.sha256(f"k-{i}".encode()).digest()[:16] for i in range(200)]
+    jsonl = tmp_path / "rows.jsonl"
+    with open(jsonl, "w") as f:
+        for key in keys:
+            f.write(json.dumps({"request_id": key.hex()}) + "\n")
+    assert main([
+        "append", "--root", bucket, "--table", "lake/logs",
+        "--jsonl", str(jsonl),
+    ]) == 0
+    assert main([
+        "index", "--root", bucket, "--table", "lake/logs",
+        "--index-dir", "idx/logs", "--column", "request_id",
+        "--type", "uuid_trie",
+    ]) == 0
+    capsys.readouterr()
+    return bucket, keys
+
+
+@pytest.fixture
+def telemetry_file(indexed_bucket, tmp_path, capsys):
+    bucket, keys = indexed_bucket
+    path = str(tmp_path / "TELEMETRY_serve.json")
+    assert main([
+        "serve-bench", "--root", bucket, "--table", "lake/logs",
+        "--index-dir", "idx/logs", "--column", "request_id",
+        "--uuid", keys[3].hex(), "--repeat", "3", "--clients", "2",
+        "--telemetry", path,
+    ]) == 0
+    capsys.readouterr()
+    return path
+
+
+def test_serve_bench_emits_valid_snapshot(telemetry_file):
+    with open(telemetry_file) as f:
+        payload = json.load(f)
+    assert payload["schema"] == TELEMETRY_SCHEMA
+    assert payload["source"] == "serve-bench"
+    hub = load_telemetry_json(telemetry_file)
+    # 1 cold query + 2 clients x 3 repeats.
+    assert hub.series("serve.queries").count() == 7
+    assert hub.quantiles("serve.latency_s").merged().count == 7
+    assert hub.ledger.serve_queries >= 1  # deduplicated flights bill once
+    assert hub.ledger.data_bytes > 0
+    assert hub.ledger.index_bytes > 0
+    assert len(hub.tail) == hub.ledger.serve_queries
+
+
+def test_slo_check_passes_on_healthy_run(telemetry_file, capsys):
+    assert main(["slo-check", "--telemetry", telemetry_file]) == 0
+    out = capsys.readouterr().out
+    assert "all objectives met" in out
+
+
+def test_slo_check_trips_on_seeded_breach(telemetry_file, capsys):
+    code = main([
+        "slo-check", "--telemetry", telemetry_file,
+        "--latency-p99-s", "1e-9",
+    ])
+    assert code == 2
+    out = capsys.readouterr().out
+    assert "SLO BREACHED" in out
+
+
+def test_slo_check_rejects_empty_telemetry(tmp_path, capsys):
+    from repro.obs import TelemetryHub, write_telemetry_json
+
+    path = str(tmp_path / "empty.json")
+    write_telemetry_json(path, TelemetryHub())
+    assert main(["slo-check", "--telemetry", path]) == 3
+    assert "no query events" in capsys.readouterr().err
+
+
+def test_dashboard_command_renders_html(telemetry_file, tmp_path, capsys):
+    out_path = str(tmp_path / "dash.html")
+    assert main([
+        "dashboard", "--telemetry", telemetry_file, "--out", out_path,
+    ]) == 0
+    with open(out_path) as f:
+        doc = f.read()
+    assert doc.startswith("<!DOCTYPE html>")
+    assert "Measured TCO position" in doc
+    assert "SLO status" in doc

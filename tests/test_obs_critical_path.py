@@ -1,0 +1,154 @@
+"""Critical-path extraction and median-vs-tail phase attribution."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.critical_path import (
+    TailRecorder,
+    TailSample,
+    critical_path,
+    render_critical_path,
+    tail_attribution,
+)
+from repro.obs.trace import Span
+
+
+def _span(name, start, end, parent=None, phase=None):
+    span = Span(name, parent=parent, start_s=start)
+    span.end_s = end
+    if parent is not None:
+        parent.children.append(span)
+    if phase is not None:
+        span.set("phase", phase)
+    return span
+
+
+def _fanout_tree() -> Span:
+    """A root fanning out two probes; the slow one holds the clock."""
+    root = _span("search", 0.0, 1.0)
+    _span("probe:fast", 0.1, 0.3, parent=root, phase="index_probe")
+    slow = _span("probe:slow", 0.1, 0.9, parent=root, phase="index_probe")
+    _span("page_read", 0.4, 0.85, parent=slow, phase="page_read")
+    return root
+
+
+class TestCriticalPath:
+    def test_follows_last_finishing_child(self):
+        steps = critical_path(_fanout_tree())
+        assert [s.name for s in steps] == [
+            "search", "probe:slow", "page_read",
+        ]
+        assert steps[1].phase == "index_probe"
+
+    def test_self_times_cover_the_root(self):
+        steps = critical_path(_fanout_tree())
+        assert sum(s.self_s for s in steps) == pytest.approx(
+            steps[0].duration_s
+        )
+        # root waited 0.8 on the slow probe -> 0.2 self; the probe
+        # waited 0.45 on the page read -> 0.35 self.
+        assert steps[0].self_s == pytest.approx(0.2)
+        assert steps[1].self_s == pytest.approx(0.35)
+
+    def test_unfinished_children_skipped(self):
+        root = _span("search", 0.0, 1.0)
+        dangling = Span("probe:crashed", parent=root, start_s=0.1)
+        root.children.append(dangling)  # end_s stays None
+        _span("probe:done", 0.1, 0.5, parent=root)
+        assert [s.name for s in critical_path(root)] == [
+            "search", "probe:done",
+        ]
+
+    def test_render(self):
+        text = render_critical_path(critical_path(_fanout_tree()))
+        assert "critical path" in text
+        assert "probe:slow [index_probe]" in text
+        assert "ms self" in text
+        assert render_critical_path([]) == "(empty critical path)"
+
+
+class TestTailRecorder:
+    def test_bounded_ring(self):
+        recorder = TailRecorder(capacity=3)
+        for i in range(5):
+            recorder.record(float(i), at_s=float(i))
+        assert len(recorder) == 3
+        assert [s.total_s for s in recorder.samples()] == [2.0, 3.0, 4.0]
+
+    def test_round_trip(self):
+        recorder = TailRecorder(capacity=8)
+        recorder.record(
+            0.5, at_s=1.0, query="q", phase_s={"plan": 0.5}, degraded=True
+        )
+        restored = TailRecorder.from_dict(
+            json.loads(json.dumps(recorder.to_dict()))
+        )
+        assert restored.capacity == 8
+        assert restored.samples() == recorder.samples()
+
+
+class TestTailAttribution:
+    def test_empty(self):
+        report = tail_attribution([])
+        assert report.rows == []
+        assert "no phase-tagged samples" in report.headline()
+
+    def _samples(self):
+        """95 quick index-probe queries, 5 page-read-dominated stragglers."""
+        samples = [
+            TailSample(
+                total_s=0.1,
+                at_s=float(i),
+                phase_s={"index_probe": 0.08, "page_read": 0.02},
+            )
+            for i in range(95)
+        ]
+        samples += [
+            TailSample(
+                total_s=2.0,
+                at_s=float(95 + i),
+                phase_s={"index_probe": 0.1, "page_read": 1.9},
+            )
+            for i in range(5)
+        ]
+        return samples
+
+    def test_tail_vs_median_cohorts(self):
+        report = tail_attribution(self._samples())
+        assert report.sample_count == 100
+        assert report.p50_s == 0.1
+        assert report.tail_threshold_s == 2.0
+        assert report.tail_count == 5
+        mid = report.dominant(tail=False)
+        tail = report.dominant(tail=True)
+        assert mid.phase == "index_probe"
+        assert tail.phase == "page_read"
+        assert tail.amplification == pytest.approx(95.0)
+        assert "page_read" in report.headline()
+        assert "index_probe" in report.headline()
+
+    def test_describe_table(self):
+        text = tail_attribution(self._samples()).describe()
+        assert "tail attribution" in text
+        assert "amplif" in text
+        assert "index_probe" in text
+
+    def test_to_dict_json_safe(self):
+        # Tail-only phases have an infinite amplification; the JSON dump
+        # must encode that as null, not a non-JSON inf.
+        samples = [
+            TailSample(total_s=0.1, at_s=0.0, phase_s={"plan": 0.1})
+            for _ in range(9)
+        ] + [
+            TailSample(
+                total_s=5.0, at_s=9.0, phase_s={"brute_force": 5.0}
+            )
+        ]
+        payload = tail_attribution(samples).to_dict()
+        text = json.dumps(payload)
+        assert "Infinity" not in text
+        rows = {r["phase"]: r for r in payload["rows"]}
+        assert rows["brute_force"]["amplification"] is None

@@ -133,6 +133,40 @@ class TestRegistry:
     def test_global_registry_is_process_wide(self):
         assert get_registry() is get_registry()
 
+    def test_render_escapes_help_and_label_values(self, registry):
+        registry.counter(
+            "weird_total", 'docs with \\ backslash\nand newline', ("path",)
+        ).inc(path='a\\b"c\nd')
+        text = registry.render()
+        assert (
+            "# HELP weird_total docs with \\\\ backslash\\nand newline"
+            in text
+        )
+        assert 'weird_total{path="a\\\\b\\"c\\nd"} 1' in text
+        # The escaped exposition stays one-line-per-sample parseable.
+        assert all(
+            line.startswith(("#", "weird_total")) for line in text.splitlines()
+        )
+
+    def test_render_labeled_histogram_conformance(self, registry):
+        h = registry.histogram(
+            "req_latency", "by op", ("op",), buckets=(0.1, 1.0)
+        )
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v, op="GET")
+        text = registry.render()
+        lines = [l for l in text.splitlines() if l.startswith("req_latency")]
+        assert 'req_latency_bucket{op="GET",le="0.1"} 1' in lines
+        assert 'req_latency_bucket{op="GET",le="1"} 2' in lines
+        assert 'req_latency_bucket{op="GET",le="+Inf"} 3' in lines
+        assert 'req_latency_sum{op="GET"} 5.55' in lines
+        assert 'req_latency_count{op="GET"} 3' in lines
+        # Buckets are cumulative and +Inf renders last of the buckets.
+        buckets = [l for l in lines if "_bucket" in l]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1].endswith('le="+Inf"} 3')
+
     def test_instrumented_store_reports(self, store):
         before = get_registry().counter(
             "store_requests_total", "Object-store requests by operation", ("op",)

@@ -1,0 +1,146 @@
+"""SLO burn-rate evaluation against hub telemetry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    SLO,
+    AvailabilityObjective,
+    CostObjective,
+    LatencyObjective,
+    default_slo,
+)
+from repro.obs.timeseries import TelemetryHub
+
+
+def _hub_with_queries(
+    *,
+    latencies: list[float],
+    degraded_every: int = 0,
+    cost_usd: float = 1e-6,
+    window_s: float = 60.0,
+    spread_windows: int = 1,
+) -> TelemetryHub:
+    hub = TelemetryHub()
+    for i, latency in enumerate(latencies):
+        at_s = (i % spread_windows) * window_s + 1.0
+        hub.quantiles("serve.latency_s").observe(latency, at_s=at_s)
+        hub.series("serve.queries").observe(1.0, at_s=at_s)
+        hub.series("serve.cost_usd").observe(cost_usd, at_s=at_s)
+        if degraded_every and i % degraded_every == 0:
+            hub.series("serve.degraded").observe(1.0, at_s=at_s)
+    return hub
+
+
+class TestLatencyObjective:
+    def test_healthy(self):
+        hub = _hub_with_queries(latencies=[0.1] * 200)
+        status = LatencyObjective(name="lat").measure(hub, short_windows=5)
+        assert status.ok
+        assert status.burn.long_burn == 0.0
+        assert status.observed == pytest.approx(0.1, rel=0.02)
+
+    def test_breach_needs_both_horizons(self):
+        # All 200 queries slow, all in the most recent window: long and
+        # short horizons both burn -> breach.
+        hub = _hub_with_queries(latencies=[2.0] * 200)
+        status = LatencyObjective(name="lat", threshold_s=1.0).measure(
+            hub, short_windows=5
+        )
+        assert not status.ok
+        assert status.burn.long_burn > 1.0
+        assert status.burn.short_burn > 1.0
+
+    def test_old_incident_does_not_page(self):
+        # Slow queries 10 windows ago, fast ones since: the long horizon
+        # still burns but the short one is quiet -> no breach.
+        hub = TelemetryHub()
+        wq = hub.quantiles("serve.latency_s")
+        for _ in range(50):
+            wq.observe(5.0, at_s=1.0)  # window 0
+        for w in range(10, 16):
+            for _ in range(50):
+                wq.observe(0.05, at_s=w * 60.0 + 1.0)
+        status = LatencyObjective(name="lat", threshold_s=1.0).measure(
+            hub, short_windows=5
+        )
+        assert status.burn.long_burn > 1.0
+        assert status.burn.short_burn == 0.0
+        assert status.ok
+
+    def test_empty_hub_ok(self):
+        status = LatencyObjective(name="lat").measure(
+            TelemetryHub(), short_windows=5
+        )
+        assert status.ok
+        assert status.burn.long_events == 0
+
+
+class TestAvailabilityObjective:
+    def test_healthy_and_breached(self):
+        healthy = _hub_with_queries(latencies=[0.1] * 1000)
+        ok = AvailabilityObjective(name="avail").measure(
+            healthy, short_windows=5
+        )
+        assert ok.ok
+        assert ok.observed == 1.0
+        # 1 in 10 degraded >> the 0.1% error budget.
+        sick = _hub_with_queries(latencies=[0.1] * 1000, degraded_every=10)
+        bad = AvailabilityObjective(name="avail").measure(
+            sick, short_windows=5
+        )
+        assert not bad.ok
+        assert bad.observed == pytest.approx(0.9)
+
+
+class TestCostObjective:
+    def test_budget(self):
+        cheap = _hub_with_queries(latencies=[0.1] * 50, cost_usd=1e-6)
+        assert CostObjective(name="cost").measure(cheap, short_windows=5).ok
+        pricy = _hub_with_queries(latencies=[0.1] * 50, cost_usd=0.5)
+        status = CostObjective(name="cost").measure(pricy, short_windows=5)
+        assert not status.ok
+        assert status.observed == pytest.approx(0.5)
+
+
+class TestSLOReport:
+    def test_default_slo_on_healthy_hub(self):
+        hub = _hub_with_queries(latencies=[0.2] * 300)
+        report = default_slo().evaluate(hub)
+        assert report.ok
+        assert report.total_events == 300
+        text = report.describe()
+        assert "all objectives met" in text
+        assert "[OK" in text
+        # Round-trips to JSON for the dashboard and telemetry dumps.
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert len(payload["objectives"]) == 3
+
+    def test_breach_surfaces_in_report(self):
+        hub = _hub_with_queries(latencies=[3.0] * 300)
+        report = default_slo(latency_p99_s=1.0).evaluate(hub)
+        assert not report.ok
+        assert "SLO BREACHED" in report.describe()
+        assert "BREACH" in report.describe()
+
+    def test_objective_names_carry_limits(self):
+        slo = default_slo(
+            latency_p99_s=0.5, availability=0.99, cost_usd_per_query=1e-4
+        )
+        names = [o.name for o in slo.objectives]
+        assert names == [
+            "latency_p99_le_0.5s",
+            "availability_ge_0.99",
+            "cost_le_0.0001_usd_per_query",
+        ]
+
+    def test_custom_bundle(self):
+        hub = _hub_with_queries(latencies=[0.1] * 10)
+        report = SLO(
+            objectives=[LatencyObjective(name="only")], short_windows=2
+        ).evaluate(hub)
+        assert [s.name for s in report.statuses] == ["only"]

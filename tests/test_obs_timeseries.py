@@ -1,0 +1,327 @@
+"""Windowed series, quantile sketches, cost ledger, telemetry hub."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.timeseries import (
+    CostLedger,
+    QuantileSketch,
+    TelemetryHub,
+    WindowedQuantiles,
+    WindowedSeries,
+    get_hub,
+    set_hub,
+    use_hub,
+)
+
+
+def _true_quantile(values: list[float], q: float) -> float:
+    """The exact sample the sketch promises to approximate."""
+    ordered = sorted(values)
+    rank = int(math.floor(q * (len(ordered) - 1) + 0.5))
+    return ordered[rank]
+
+
+# -- QuantileSketch ---------------------------------------------------
+
+
+class TestQuantileSketch:
+    def test_empty(self):
+        sketch = QuantileSketch()
+        assert sketch.count == 0
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.mean == 0.0
+
+    def test_single_value(self):
+        sketch = QuantileSketch()
+        sketch.observe(0.25)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert sketch.quantile(q) == pytest.approx(0.25, rel=0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch().observe(-1.0)
+
+    def test_bad_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(1.0)
+
+    def test_relative_error_on_known_distribution(self):
+        sketch = QuantileSketch(0.01)
+        values = [0.001 * (i + 1) for i in range(1000)]
+        for v in values:
+            sketch.observe(v)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            true = _true_quantile(values, q)
+            assert sketch.quantile(q) == pytest.approx(true, rel=0.011)
+
+    def test_memory_bounded_by_max_bins(self):
+        sketch = QuantileSketch(0.01, max_bins=64)
+        # 10 decades of dynamic range, far more distinct bins than 64.
+        for i in range(20_000):
+            sketch.observe(10 ** (-5 + 10 * (i / 20_000)))
+        assert sketch.bin_count <= 64 + 1  # +1 for the zero bin slot
+        assert sketch.count == 20_000
+        # Collapses eat the cheap end; the tail stays accurate.
+        assert sketch.quantile(0.99) == pytest.approx(
+            10 ** (-5 + 10 * 0.99), rel=0.05
+        )
+
+    def test_count_above(self):
+        sketch = QuantileSketch()
+        for v in (0.1, 0.2, 0.9, 1.5, 2.0):
+            sketch.observe(v)
+        assert sketch.count_above(1.0) == 2
+        assert sketch.count_above(10.0) == 0
+
+    def test_merge_mismatched_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(0.01).merge(QuantileSketch(0.02))
+
+    def test_merge_equals_union(self):
+        a, b, union = QuantileSketch(), QuantileSketch(), QuantileSketch()
+        left = [0.01 * (i + 1) for i in range(50)]
+        right = [0.5 + 0.02 * i for i in range(30)]
+        for v in left:
+            a.observe(v)
+            union.observe(v)
+        for v in right:
+            b.observe(v)
+            union.observe(v)
+        merged = a.merge(b)
+        assert merged.count == union.count
+        assert merged.sum == pytest.approx(union.sum)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert merged.quantile(q) == pytest.approx(
+                union.quantile(q), rel=1e-9
+            )
+
+    def test_serialization_round_trip(self):
+        sketch = QuantileSketch()
+        for v in (0.0, 0.1, 0.5, 2.0):
+            sketch.observe(v)
+        restored = QuantileSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        )
+        assert restored.count == sketch.count
+        assert restored.min == sketch.min
+        assert restored.max == sketch.max
+        for q in (0.25, 0.5, 0.99):
+            assert restored.quantile(q) == sketch.quantile(q)
+
+
+# -- property tests (the acceptance criterion's sketch guarantees) ----
+
+_VALUES = st.lists(
+    st.floats(min_value=1e-6, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _sketch_of(values: list[float]) -> QuantileSketch:
+    sketch = QuantileSketch(0.01)
+    for v in values:
+        sketch.observe(v)
+    return sketch
+
+
+class TestSketchProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values=_VALUES, q=st.floats(min_value=0.0, max_value=1.0))
+    def test_relative_error_bound(self, values, q):
+        sketch = _sketch_of(values)
+        true = _true_quantile(values, q)
+        assert sketch.quantile(q) == pytest.approx(true, rel=0.0101)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_VALUES, b=_VALUES)
+    def test_merge_commutative(self, a, b):
+        ab = _sketch_of(a).merge(_sketch_of(b))
+        ba = _sketch_of(b).merge(_sketch_of(a))
+        assert ab.to_dict()["bins"] == ba.to_dict()["bins"]
+        assert ab.count == ba.count
+        assert ab.min == ba.min and ab.max == ba.max
+        assert math.isclose(ab.sum, ba.sum, rel_tol=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_VALUES, b=_VALUES, c=_VALUES)
+    def test_merge_associative(self, a, b, c):
+        sa, sb, sc = _sketch_of(a), _sketch_of(b), _sketch_of(c)
+        left = sa.merge(sb).merge(sc)
+        right = sa.merge(sb.merge(sc))
+        assert left.to_dict()["bins"] == right.to_dict()["bins"]
+        assert left.count == right.count
+        assert left.min == right.min and left.max == right.max
+        assert math.isclose(left.sum, right.sum, rel_tol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        ),
+        data=st.data(),
+    )
+    def test_windowed_series_order_invariant(self, values, data):
+        """Observations landing in one window commute exactly."""
+        shuffled = data.draw(st.permutations(values))
+        a = WindowedSeries(window_s=60.0)
+        b = WindowedSeries(window_s=60.0)
+        for v in values:
+            a.observe(v, at_s=30.0)
+        for v in shuffled:
+            b.observe(v, at_s=30.0)
+        (pa,), (pb,) = a.points(), b.points()
+        assert pa.count == pb.count
+        assert pa.min == pb.min and pa.max == pb.max
+        assert math.isclose(pa.total, pb.total, rel_tol=1e-9)
+
+
+# -- WindowedSeries ---------------------------------------------------
+
+
+class TestWindowedSeries:
+    def test_windowing_and_rates(self):
+        series = WindowedSeries(window_s=60.0, capacity=10)
+        series.observe(1.0, at_s=10.0)
+        series.observe(1.0, at_s=50.0)
+        series.observe(1.0, at_s=70.0)
+        points = series.points()
+        assert [p.index for p in points] == [0, 1]
+        assert [p.count for p in points] == [2, 1]
+        assert series.count() == 3
+        assert series.total(last=1) == 1.0
+        assert series.rate_per_s() == pytest.approx(3 / 120.0)
+
+    def test_capacity_eviction_and_late_drop(self):
+        series = WindowedSeries(window_s=1.0, capacity=3)
+        for t in range(6):
+            series.observe(1.0, at_s=float(t))
+        assert [p.index for p in series.points()] == [3, 4, 5]
+        series.observe(1.0, at_s=0.5)  # beyond the horizon now
+        assert series.late_dropped == 1
+        assert series.count() == 3
+
+    def test_round_trip(self):
+        series = WindowedSeries(window_s=30.0, capacity=5)
+        series.observe(2.0, at_s=0.0)
+        series.observe(4.0, at_s=31.0)
+        restored = WindowedSeries.from_dict(
+            json.loads(json.dumps(series.to_dict()))
+        )
+        assert [p.to_dict() for p in restored.points()] == [
+            p.to_dict() for p in series.points()
+        ]
+        restored.observe(1.0, at_s=62.0)
+        assert restored.count() == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedSeries(window_s=0.0)
+        with pytest.raises(ValueError):
+            WindowedSeries(capacity=0)
+
+
+# -- WindowedQuantiles ------------------------------------------------
+
+
+class TestWindowedQuantiles:
+    def test_per_window_and_merged(self):
+        wq = WindowedQuantiles(window_s=60.0)
+        for i in range(100):
+            wq.observe(0.1, at_s=10.0)
+            wq.observe(0.9, at_s=70.0)
+        assert len(wq.windows()) == 2
+        p50s = dict(wq.quantile_series(0.5))
+        assert p50s[0] == pytest.approx(0.1, rel=0.01)
+        assert p50s[1] == pytest.approx(0.9, rel=0.01)
+        merged = wq.merged()
+        assert merged.count == 200
+        assert merged.quantile(0.99) == pytest.approx(0.9, rel=0.01)
+        assert wq.merged(last=1).count == 100
+
+    def test_round_trip(self):
+        wq = WindowedQuantiles(window_s=60.0)
+        for v in (0.1, 0.2, 0.3):
+            wq.observe(v, at_s=5.0)
+        restored = WindowedQuantiles.from_dict(
+            json.loads(json.dumps(wq.to_dict()))
+        )
+        assert restored.merged().count == 3
+        assert restored.merged().quantile(0.5) == pytest.approx(
+            0.2, rel=0.01
+        )
+
+
+# -- CostLedger -------------------------------------------------------
+
+
+class TestCostLedger:
+    def test_accumulation_and_buckets(self):
+        ledger = CostLedger()
+        ledger.record_query(1e-6, 2e-6, at_s=0.0)
+        ledger.record_query(1e-6, 0.0, at_s=120.0)
+        ledger.record_maintain("index", 5e-5, 1e-5, at_s=60.0)
+        ledger.record_maintain("compact", 1e-5, 0.0, at_s=90.0)
+        ledger.set_storage(data_bytes=1000, index_bytes=100)
+        assert ledger.serve_queries == 2
+        assert ledger.serve_usd == pytest.approx(4e-6)
+        assert ledger.cost_per_query_usd == pytest.approx(2e-6)
+        assert ledger.index_build_usd == pytest.approx(6e-5)
+        assert ledger.maintain_usd == pytest.approx(1e-5)
+        assert ledger.elapsed_s == pytest.approx(120.0)
+
+    def test_round_trip(self):
+        ledger = CostLedger()
+        ledger.record_query(1e-6, 2e-6, at_s=3.0)
+        ledger.set_storage(data_bytes=42, index_bytes=7)
+        restored = CostLedger.from_dict(
+            json.loads(json.dumps(ledger.to_dict()))
+        )
+        assert restored.to_dict() == ledger.to_dict()
+
+
+# -- TelemetryHub -----------------------------------------------------
+
+
+class TestTelemetryHub:
+    def test_named_series_are_cached(self):
+        hub = TelemetryHub()
+        assert hub.series("a") is hub.series("a")
+        assert hub.quantiles("b") is hub.quantiles("b")
+
+    def test_snapshot_round_trip(self):
+        hub = TelemetryHub()
+        hub.series("serve.queries").observe(1.0, at_s=1.0)
+        hub.quantiles("serve.latency_s").observe(0.2, at_s=1.0)
+        hub.ledger.record_query(1e-6, 0.0, at_s=1.0)
+        hub.tail.record(0.2, at_s=1.0, phase_s={"plan": 0.2})
+        restored = TelemetryHub.from_snapshot(
+            json.loads(json.dumps(hub.snapshot()))
+        )
+        assert restored.series("serve.queries").count() == 1
+        assert restored.quantiles("serve.latency_s").merged().count == 1
+        assert restored.ledger.serve_queries == 1
+        assert len(restored.tail) == 1
+
+    def test_global_hub_scoping(self):
+        default = get_hub()
+        scoped = TelemetryHub()
+        with use_hub(scoped):
+            assert get_hub() is scoped
+        assert get_hub() is default
+        previous = set_hub(scoped)
+        try:
+            assert get_hub() is scoped
+        finally:
+            set_hub(previous)

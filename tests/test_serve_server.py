@@ -105,16 +105,33 @@ class TestSingleFlight:
 class TestServeStats:
     def test_percentiles_nearest_rank(self):
         assert _percentile([], 0.5) == 0.0
-        stats = ServeStats(latencies_s=[0.4, 0.1, 0.3, 0.2, 0.5])
-        assert stats.p50_s == 0.3
-        assert stats.p99_s == 0.5
-        assert stats.percentile(0.0) == 0.1
+        assert _percentile([0.4, 0.1, 0.3, 0.2, 0.5], 0.5) == 0.3
+        stats = ServeStats()
+        for latency in (0.4, 0.1, 0.3, 0.2, 0.5):
+            stats.observe_latency(latency)
+        assert stats.p50_s == pytest.approx(0.3, rel=0.02)
+        assert stats.p99_s == pytest.approx(0.5, rel=0.02)
+        assert stats.percentile(0.0) == pytest.approx(0.1, rel=0.02)
         assert stats.mean_latency_s == pytest.approx(0.3)
+        assert stats.first_latency_s == 0.4
+        assert stats.last_latency_s == 0.5
 
     def test_qps_estimate_littles_law(self):
-        stats = ServeStats(latencies_s=[0.5, 0.5])
+        stats = ServeStats()
+        stats.observe_latency(0.5)
+        stats.observe_latency(0.5)
         assert stats.qps_estimate(8) == pytest.approx(16.0)
         assert ServeStats().qps_estimate(8) == 0.0
+
+    def test_latency_memory_is_bounded(self):
+        # The whole point of the sketch: per-query state stays O(1) no
+        # matter how many queries flow through the server.
+        stats = ServeStats()
+        for i in range(50_000):
+            stats.observe_latency(1e-4 * (1 + i % 997))
+        assert stats.latency_count == 50_000
+        assert stats.latency_sketch.bin_count <= stats.latency_sketch.max_bins
+        assert stats.p99_s > stats.p50_s > 0
 
     def test_throughput_model_uses_measured_rpq(self):
         stats = ServeStats(queries=10, total_requests=250)
@@ -131,7 +148,8 @@ class TestServeStats:
         )
 
     def test_describe_mentions_everything(self):
-        stats = ServeStats(queries=3, deduplicated=1, latencies_s=[0.2])
+        stats = ServeStats(queries=3, deduplicated=1)
+        stats.observe_latency(0.2)
         text = stats.describe(max_inflight=4)
         assert "queries served" in text
         assert "1 deduplicated" in text
@@ -170,7 +188,7 @@ class TestSearchServer:
             assert len(result.matches) == 1
             assert server.stats.queries == 1
             assert server.stats.total_requests > 0
-            assert server.stats.latencies_s[0] > 0
+            assert server.stats.first_latency_s > 0
 
     def test_results_match_plain_client(self, indexed_client):
         query = UuidQuery(event_uuid(2, 9))
