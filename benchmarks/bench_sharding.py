@@ -1,0 +1,119 @@
+"""Sharded-routing benchmark: the `repro.shard` subsystem end to end.
+
+Three measurements over the modeled scenario in
+:mod:`repro.shard.bench` (one uuid lake, materialized at 1/2/4/8
+shards, the same query stream routed through each deployment):
+
+* **scatter** — prune off, every shard queried every time: p50 stays
+  ~flat with shard count (one parallel wave, Fig. 8c shape) while
+  request cost grows ~linearly — the scatter-gather scaling trade.
+* **routed** — hash pruning on: exact-key queries collapse back to one
+  shard's cost while latency stays flat.
+* **hedging** — two replicas with one injected 8x-slow node: with the
+  hedge policy off the slow node owns p99; with it on, p99 drops
+  measurably and the hedge/win counters are nonzero.
+
+Everything is modeled from request traces, so the persisted
+``BENCH_sharding.json`` numbers are deterministic and the regression
+gate (``tests/test_bench_regression.py``) pins them.
+"""
+
+from __future__ import annotations
+
+from repro.shard.bench import run_shard_bench
+
+from benchmarks.common import write_bench, write_result
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def test_sharding_scaling_and_hedging(benchmark):
+    result = benchmark(lambda: run_shard_bench(shard_counts=SHARD_COUNTS))
+
+    lines = ["=== sharding: scatter-gather scaling + hedging (modeled) ==="]
+    lines.append(result.describe())
+    text = "\n".join(lines)
+    print(text)
+    write_result("sharding_scaling.txt", text)
+
+    write_bench(
+        "sharding",
+        "scatter",
+        params={
+            "files": result.files,
+            "rows": result.rows,
+            "shard_counts": list(SHARD_COUNTS),
+        },
+        metrics={
+            **{
+                f"p50_modeled_ms_{n}_shards": result.scatter_p50_ms[n]
+                for n in SHARD_COUNTS
+            },
+            **{
+                f"p99_modeled_ms_{n}_shards": result.scatter_p99_ms[n]
+                for n in SHARD_COUNTS
+            },
+            **{
+                f"cost_usd_per_query_{n}_shards": result.scatter_cost_usd[n]
+                for n in SHARD_COUNTS
+            },
+            **{
+                f"requests_per_query_{n}_shards": result.scatter_requests[n]
+                for n in SHARD_COUNTS
+            },
+            "p50_ratio_4_shards": result.p50_ratio(4),
+            "cost_ratio_4_shards": result.cost_ratio(4),
+        },
+    )
+    write_bench(
+        "sharding",
+        "routed",
+        params={"shard_counts": list(SHARD_COUNTS)},
+        metrics={
+            **{
+                f"p50_modeled_ms_{n}_shards": result.routed_p50_ms[n]
+                for n in SHARD_COUNTS
+            },
+            **{
+                f"cost_usd_per_query_{n}_shards": result.routed_cost_usd[n]
+                for n in SHARD_COUNTS
+            },
+            **{
+                f"shards_pruned_{n}_shards": result.routed_pruned[n]
+                for n in SHARD_COUNTS
+            },
+        },
+    )
+    write_bench(
+        "sharding",
+        "hedging",
+        params={
+            "shards": result.hedge_shards,
+            "replicas": result.replicas,
+            "slow_factor": result.slow_factor,
+        },
+        metrics={
+            "p99_off_modeled_ms": result.hedge_off_p99_ms,
+            "p99_on_modeled_ms": result.hedge_on_p99_ms,
+            "hedge_p99_speedup": result.hedge_p99_speedup,
+            "hedges": result.hedges,
+            "hedge_wins": result.hedge_wins,
+        },
+    )
+
+    # Acceptance (ISSUE 6): scatter p50 at 4 shards within 15% of the
+    # 1-shard p50, cost ~linear in shard count, and hedging measurably
+    # cuts the injected-slow-node p99.
+    assert result.p50_ratio(4) <= 1.15
+    assert result.cost_ratio(4) >= 2.0
+    assert result.cost_ratio(8) > result.cost_ratio(4)
+    # Pruned routing stays ~one shard's cost as the fleet grows.
+    assert result.routed_cost_usd[8] <= result.scatter_cost_usd[8] / 2
+    assert result.routed_pruned[8] == 7.0
+    # Hedging: fires, wins, and moves the tail.
+    assert result.hedges > 0
+    assert result.hedge_wins > 0
+    assert result.hedge_p99_speedup > 1.0
+    # The per-shard SLO over the healthy routed run holds.
+    assert result.slo_ok
+    assert result.ok

@@ -473,6 +473,31 @@ def cmd_maintain_bench(args) -> int:
     return 0 if result.index_speedup(max(workers)) >= 2.0 else 2
 
 
+def cmd_shard_bench(args) -> int:
+    """Modeled scaling of the sharded scatter-gather router.
+
+    Runs entirely in memory against a simulated clock (no ``--root``):
+    one uuid lake is materialized at each shard count, the same query
+    stream is routed through every deployment, and a two-replica
+    deployment with one injected slow node A/Bs the hedging policy.
+    Exit 0 when scatter p50 stays ~flat across shard counts and hedging
+    measurably cuts the slow-node p99, 2 otherwise.
+    """
+    from repro.shard.bench import run_shard_bench
+
+    shards = tuple(sorted(set(args.shards) | {1}))
+    result = run_shard_bench(
+        files=args.files,
+        rows=args.rows,
+        shard_counts=shards,
+        replicas=args.replicas,
+        queries=args.queries,
+        slow_factor=args.slow_factor,
+    )
+    print(result.describe())
+    return 0 if result.ok else 2
+
+
 def cmd_info(args) -> int:
     store, lake = _open(args)
     snap = lake.snapshot()
@@ -658,6 +683,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker counts to compare (1 is always included)",
     )
     p.set_defaults(func=cmd_maintain_bench)
+
+    p = sub.add_parser(
+        "shard-bench",
+        help="modeled scaling of the sharded scatter-gather router "
+        "(in-memory)",
+    )
+    p.add_argument(
+        "--files", type=int, default=8, help="source lake files to shard"
+    )
+    p.add_argument("--rows", type=int, default=64, help="rows per file")
+    p.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="shard counts to compare (1 is always included)",
+    )
+    p.add_argument(
+        "--replicas", type=int, default=2,
+        help="replicas per shard in the hedging phase",
+    )
+    p.add_argument(
+        "--queries", type=int, default=24, help="measured queries per phase"
+    )
+    p.add_argument(
+        "--slow-factor", type=float, default=8.0,
+        help="latency multiplier of the injected slow node",
+    )
+    p.set_defaults(func=cmd_shard_bench)
 
     def slo_flags(p):
         p.add_argument(

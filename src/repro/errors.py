@@ -111,4 +111,14 @@ class ServerOverloaded(ServeError):
     maximum number of in-flight queries and shedding was requested."""
 
 
+class ShardError(ReproError):
+    """Base class for sharded-deployment (``repro.shard``) failures."""
+
+
+class ShardUnavailable(ShardError):
+    """One or more shards failed to answer and the router was
+    configured to fail the whole query (``on_shard_failure="error"``)
+    rather than return a partial result."""
+
+
 RottnestIndexError = IndexError_

@@ -10,6 +10,8 @@ server and opened anywhere. Sections:
 * windowed latency percentiles and query-rate timelines;
 * the tail-attribution table from :func:`~repro.obs.critical_path
   .tail_attribution` — which phase owns p99 vs p50;
+* when the hub holds ``router.*`` series, a scatter-gather router panel
+  (routed queries, hedge counts, per-shard latency/failure table);
 * SLO status (each objective with its two-horizon burn rates);
 * the centerpiece: the deployment's **measured position and
   trajectory on the TCO phase diagram**. The cost ledger's observed
@@ -32,6 +34,7 @@ from __future__ import annotations
 
 import html
 import math
+import re
 from dataclasses import dataclass
 
 from repro.obs.critical_path import TailReport, tail_attribution
@@ -554,6 +557,65 @@ def _tail_section(report: TailReport) -> str:
     )
 
 
+def _router_section(hub: TelemetryHub) -> str:
+    """Scatter-gather router panel: fleet tiles + per-shard table.
+
+    Rendered only when the hub holds ``router.*`` series (a sharded
+    deployment reported here); single-server hubs skip the section
+    entirely rather than show an empty box.
+    """
+    shard_ids = sorted(
+        int(match.group(1))
+        for name in hub.quantile_names()
+        if (match := re.fullmatch(r"router\.shard(\d+)\.latency_s", name))
+    )
+    routed = hub.series("router.queries").count()
+    if not shard_ids and not routed:
+        return ""
+    merged = hub.quantiles("router.latency_s").merged()
+    tiles = [
+        ("routed queries", f"{routed}"),
+        (
+            "router p99",
+            _fmt_ms(merged.quantile(0.99)) if merged.count else "—",
+        ),
+        ("hedges", f"{hub.series('router.hedges').count()}"),
+        ("hedge wins", f"{hub.series('router.hedge_wins').count()}"),
+        (
+            "routed cost $",
+            f"${hub.series('router.cost_usd').total():.3e}",
+        ),
+    ]
+    tile_html = "".join(
+        f"<div class='tile'><div class='value'>{_esc(value)}</div>"
+        f"<div class='label'>{_esc(label)}</div></div>"
+        for label, value in tiles
+    )
+    rows = []
+    for shard_id in shard_ids:
+        sketch = hub.quantiles(f"router.shard{shard_id}.latency_s").merged()
+        queries = hub.series(f"router.shard{shard_id}.queries").count()
+        failed = hub.series(f"router.shard{shard_id}.failed").count()
+        rows.append(
+            f"<tr><td>shard {shard_id}</td>"
+            f"<td>{queries}</td><td>{failed}</td>"
+            f"<td>{sketch.quantile(0.5) * 1000:.1f}</td>"
+            f"<td>{sketch.quantile(0.99) * 1000:.1f}</td></tr>"
+        )
+    table = (
+        "<table><tr><th>shard</th><th>queries</th><th>failed</th>"
+        "<th>p50 ms</th><th>p99 ms</th></tr>"
+        f"{''.join(rows)}</table>"
+        if rows
+        else "<p class='muted'>no per-shard latency sketches yet</p>"
+    )
+    return (
+        "<section><h2>Scatter-gather router</h2>"
+        f"<div class='tiles'>{tile_html}</div>"
+        f"{table}</section>"
+    )
+
+
 def _slo_section(report: SLOReport) -> str:
     rows = []
     for status in report.statuses:
@@ -626,6 +688,7 @@ def render_dashboard(
             _stat_tiles(hub),
             _slo_section(slo_report),
             _latency_section(hub),
+            _router_section(hub),
             _rate_section(hub),
             _tail_section(tail_report),
             _tco_section(hub, costs),

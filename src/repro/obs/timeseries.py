@@ -638,6 +638,16 @@ class TelemetryHub:
                 self._quantiles[name] = wq
             return wq
 
+    def series_names(self) -> list[str]:
+        """Names of every registered windowed series, sorted."""
+        with self._lock:
+            return sorted(self._series)
+
+    def quantile_names(self) -> list[str]:
+        """Names of every registered quantile series, sorted."""
+        with self._lock:
+            return sorted(self._quantiles)
+
     def snapshot(self) -> dict:
         """JSON-safe dump of every series, sketch, tail sample, and the
         cost ledger."""

@@ -1,0 +1,266 @@
+"""Modeled scaling scenario for the sharded scatter-gather router.
+
+Builds one uuid lake, materializes it at several shard counts on a
+simulated clock, and routes the same query stream through each
+deployment. Latencies and dollars are *modeled* from request traces
+(:class:`~repro.storage.latency.LatencyModel` /
+:class:`~repro.storage.costs.CostModel`), so the run is deterministic:
+the same seed produces the same p50/p99, the same hedge count, and the
+same costs — which is what lets the benchmark regression gate pin the
+numbers.
+
+Three phases:
+
+* **scatter** — ``prune=False``, one replica: every query fans out to
+  all N shards in one wave, so p50 tracks the *slowest shard* (Fig. 8c
+  shape: ~flat latency) while request cost grows ~linearly with N.
+* **routed** — ``prune=True``: hash placement routes each exact-key
+  query to its single owning shard, so cost collapses back to ~one
+  shard's worth while latency stays flat.
+* **hedging** — two replicas with one slow node injected: with hedging
+  off the slow replica owns the tail; with
+  :class:`~repro.shard.hedge.HedgePolicy` on, primaries that cross the
+  per-shard latency threshold are hedged to the fast peer and p99 drops
+  measurably.
+
+Shared by ``benchmarks/bench_sharding.py`` (which persists
+``BENCH_sharding.json`` for the regression gate) and the
+``repro shard-bench`` CLI subcommand (which prints the numbers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.queries import UuidQuery
+from repro.formats.schema import ColumnType, Field as SchemaField, Schema
+from repro.lake.table import LakeTable, TableConfig
+from repro.obs.timeseries import TelemetryHub, use_hub
+from repro.shard.hedge import HedgePolicy
+from repro.shard.plan import ShardPlan
+from repro.shard.router import QueryRouter
+from repro.shard.slo import router_slo
+from repro.storage.latency import LatencyModel
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.clock import SimClock
+from repro.workloads.uuids import UuidWorkload
+
+SCHEMA = Schema.of(SchemaField("uuid", ColumnType.BINARY))
+SOURCE_ROOT = "lake/source"
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class ShardBenchResult:
+    """Modeled routing numbers across shard counts plus the hedge A/B."""
+
+    files: int
+    rows: int
+    replicas: int
+    slow_factor: float
+    scatter_p50_ms: dict[int, float] = field(default_factory=dict)
+    scatter_p99_ms: dict[int, float] = field(default_factory=dict)
+    scatter_cost_usd: dict[int, float] = field(default_factory=dict)
+    scatter_requests: dict[int, float] = field(default_factory=dict)
+    routed_p50_ms: dict[int, float] = field(default_factory=dict)
+    routed_cost_usd: dict[int, float] = field(default_factory=dict)
+    routed_pruned: dict[int, float] = field(default_factory=dict)
+    hedge_shards: int = 0
+    hedge_off_p99_ms: float = 0.0
+    hedge_on_p99_ms: float = 0.0
+    hedges: int = 0
+    hedge_wins: int = 0
+    slo_ok: bool = False
+
+    # -- derived -------------------------------------------------------
+    def p50_ratio(self, n_shards: int) -> float:
+        """Scatter p50 at ``n_shards`` over the single-shard p50."""
+        return self.scatter_p50_ms[n_shards] / self.scatter_p50_ms[1]
+
+    def cost_ratio(self, n_shards: int) -> float:
+        """Scatter cost/query at ``n_shards`` over single-shard cost."""
+        return self.scatter_cost_usd[n_shards] / self.scatter_cost_usd[1]
+
+    @property
+    def hedge_p99_speedup(self) -> float:
+        """Hedge-off p99 over hedge-on p99 (> 1 means hedging helps)."""
+        if self.hedge_on_p99_ms == 0:
+            return 0.0
+        return self.hedge_off_p99_ms / self.hedge_on_p99_ms
+
+    @property
+    def ok(self) -> bool:
+        """The acceptance shape: scatter stays ~flat at 4 shards and
+        hedging measurably cuts the injected-slow-node p99."""
+        return (
+            4 in self.scatter_p50_ms
+            and self.p50_ratio(4) <= 1.15
+            and self.hedge_p99_speedup > 1.0
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary for the CLI."""
+        lines = [
+            f"shard-bench: {self.files} files x {self.rows} rows "
+            "(modeled store latency)",
+            "  scatter (prune off, every shard queried each time):",
+        ]
+        for n in sorted(self.scatter_p50_ms):
+            ratio = f"  (p50 {self.p50_ratio(n):.2f}x, cost {self.cost_ratio(n):.2f}x)" if n != 1 else ""
+            lines.append(
+                f"    shards={n}: p50 {self.scatter_p50_ms[n]:7.1f} ms  "
+                f"p99 {self.scatter_p99_ms[n]:7.1f} ms  "
+                f"${self.scatter_cost_usd[n]:.2e}/query"
+                f"  {self.scatter_requests[n]:5.1f} req/query{ratio}"
+            )
+        lines.append("  routed (hash pruning on):")
+        for n in sorted(self.routed_p50_ms):
+            lines.append(
+                f"    shards={n}: p50 {self.routed_p50_ms[n]:7.1f} ms  "
+                f"${self.routed_cost_usd[n]:.2e}/query"
+                f"  pruned {self.routed_pruned[n]:.1f}/{n} shards"
+            )
+        lines.append(
+            f"  hedging ({self.hedge_shards} shards x {self.replicas} "
+            f"replicas, one node {self.slow_factor:g}x slow):"
+        )
+        lines.append(f"    hedge off: p99 {self.hedge_off_p99_ms:7.1f} ms")
+        lines.append(
+            f"    hedge on:  p99 {self.hedge_on_p99_ms:7.1f} ms  "
+            f"({self.hedge_p99_speedup:.2f}x, {self.hedges} hedges, "
+            f"{self.hedge_wins} wins)"
+        )
+        lines.append(f"  per-shard SLO over the routed run: "
+                     f"{'ok' if self.slo_ok else 'BREACHED'}")
+        return "\n".join(lines)
+
+
+def _build_source(files: int, rows: int, seed: int):
+    store = InMemoryObjectStore(clock=SimClock(start=1_000_000.0))
+    lake = LakeTable.create(
+        store,
+        SOURCE_ROOT,
+        SCHEMA,
+        TableConfig(row_group_rows=64, page_target_bytes=4096),
+    )
+    gen = UuidWorkload(seed=seed)
+    for _ in range(files):
+        lake.append({"uuid": gen.batch(rows)})
+    return lake, gen
+
+
+def run_shard_bench(
+    *,
+    files: int = 8,
+    rows: int = 64,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    replicas: int = 2,
+    queries: int = 24,
+    warmup: int = 12,
+    slow_factor: float = 8.0,
+    seed: int = 7,
+    hedge_policy: HedgePolicy | None = None,
+) -> ShardBenchResult:
+    """Route the same query stream at each shard count; A/B the hedger.
+
+    Every phase materializes a fresh deployment from the same source
+    lake and uses a fresh telemetry hub, so phases cannot leak warmth
+    or hedge history into each other.
+    """
+    shard_counts = tuple(sorted(set(shard_counts) | {1}))
+    result = ShardBenchResult(
+        files=files, rows=rows, replicas=replicas, slow_factor=slow_factor
+    )
+    source, gen = _build_source(files, rows, seed)
+    keys = gen.present_queries(queries)
+    warm_keys = gen.present_queries(warmup)
+    indexes = [("uuid", "uuid_trie", {})]
+    # A 1-byte cache budget disables replica caching: every query pays
+    # its full modeled round trips, which is what a routing benchmark
+    # is measuring (cache behaviour is bench_serving's subject).
+    no_cache = {"cache_budget_bytes": 1}
+
+    # -- scatter + routed sweeps ---------------------------------------
+    for n in shard_counts:
+        for routed in (False, True):
+            with use_hub(TelemetryHub()) as hub:
+                deployment = ShardPlan(n_shards=n, replicas=1).materialize(
+                    source, "uuid", indexes=indexes, **no_cache
+                )
+                router = QueryRouter(
+                    deployment, prune=routed, hedge=None,
+                    on_shard_failure="error",
+                )
+                with deployment, router:
+                    latencies, costs, requests, pruned = [], [], [], []
+                    for key in keys:
+                        res = router.query("uuid", UuidQuery(key), k=4)
+                        latencies.append(res.modeled_latency_s * 1000)
+                        costs.append(res.cost_usd)
+                        requests.append(res.total_requests)
+                        pruned.append(res.shards_pruned)
+                if routed:
+                    result.routed_p50_ms[n] = percentile(latencies, 0.5)
+                    result.routed_cost_usd[n] = sum(costs) / len(costs)
+                    result.routed_pruned[n] = sum(pruned) / len(pruned)
+                    if n == max(shard_counts):
+                        result.slo_ok = router_slo(n).evaluate(hub).ok
+                else:
+                    result.scatter_p50_ms[n] = percentile(latencies, 0.5)
+                    result.scatter_p99_ms[n] = percentile(latencies, 0.99)
+                    result.scatter_cost_usd[n] = sum(costs) / len(costs)
+                    result.scatter_requests[n] = sum(requests) / len(requests)
+
+    # -- hedging A/B: one slow node behind two replicas ----------------
+    # With one of two replicas slow, half of a shard's observed
+    # latencies are slow — the median IS the slow mode, so a p50-based
+    # threshold never fires. Hedge against the fast quartile instead:
+    # anything 1.5x slower than the fast mode gets a backup request.
+    hedge_policy = hedge_policy or HedgePolicy(quantile=0.25)
+    hedge_shards = 4 if 4 in shard_counts else max(shard_counts)
+    result.hedge_shards = hedge_shards
+    slow = LatencyModel(first_byte_s=LatencyModel().first_byte_s * slow_factor)
+
+    def models(shard_id: int, replica_id: int) -> LatencyModel:
+        if shard_id == 0 and replica_id == 0:
+            return slow
+        return LatencyModel()
+
+    for hedge in (None, hedge_policy):
+        with use_hub(TelemetryHub()) as hub:
+            deployment = ShardPlan(
+                n_shards=hedge_shards, replicas=replicas
+            ).materialize(
+                source, "uuid", indexes=indexes, latency_model_for=models,
+                **no_cache,
+            )
+            router = QueryRouter(
+                deployment, prune=False, hedge=hedge,
+                on_shard_failure="error",
+            )
+            with deployment, router:
+                for key in warm_keys:
+                    router.query("uuid", UuidQuery(key), k=4)
+                latencies = []
+                hedges = wins = 0
+                for key in keys:
+                    res = router.query("uuid", UuidQuery(key), k=4)
+                    latencies.append(res.modeled_latency_s * 1000)
+                    hedges += res.hedges
+                    wins += res.hedge_wins
+            if hedge is None:
+                result.hedge_off_p99_ms = percentile(latencies, 0.99)
+            else:
+                result.hedge_on_p99_ms = percentile(latencies, 0.99)
+                result.hedges = hedges
+                result.hedge_wins = wins
+    return result

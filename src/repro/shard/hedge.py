@@ -1,0 +1,56 @@
+"""Tail-at-scale hedging policy: when to issue the backup request.
+
+Dean & Barroso's hedged-request recipe, driven by the deployment's own
+telemetry: each shard's modeled latencies stream into a per-shard
+:class:`~repro.obs.timeseries.WindowedQuantiles` sketch under
+``router.shard<N>.latency_s``; once a shard has enough history, the
+policy's threshold is ``factor ×`` that shard's ``quantile``. A primary
+whose modeled latency lands above the threshold gets a hedged request
+to a replica, and the router keeps whichever answer *would have*
+arrived first under simulated time — ``min(primary, threshold +
+replica)`` — cancelling the loser.
+
+Everything is modeled, so the hedge decision is deterministic: the
+same query history produces the same thresholds and the same
+hedge/win counts, which is what lets the benchmark regression gate pin
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShardError
+from repro.obs.timeseries import QuantileSketch
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Hedge when modeled primary latency exceeds ``factor × qX``.
+
+    ``min_observations`` keeps the policy quiet until the per-shard
+    sketch has seen enough traffic to estimate the quantile — cold
+    shards never hedge, so startup is not a hedge storm.
+    """
+
+    quantile: float = 0.5
+    factor: float = 1.5
+    min_observations: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quantile <= 1.0:
+            raise ShardError(
+                f"hedge quantile must be in [0, 1], got {self.quantile}"
+            )
+        if self.factor <= 0:
+            raise ShardError(f"hedge factor must be > 0, got {self.factor}")
+        if self.min_observations < 1:
+            raise ShardError(
+                f"min_observations must be >= 1, got {self.min_observations}"
+            )
+
+    def threshold_s(self, sketch: QuantileSketch) -> float | None:
+        """Latency above which to hedge, or None without enough data."""
+        if sketch.count < self.min_observations:
+            return None
+        return sketch.quantile(self.quantile) * self.factor

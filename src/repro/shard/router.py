@@ -1,0 +1,415 @@
+"""Scatter-gather query router over a sharded deployment.
+
+:class:`QueryRouter` is the stateless front door of a
+:class:`~repro.shard.plan.ShardDeployment`: it prunes shards that
+cannot hold matches (hash placement for exact-key queries, min-max
+spans for range placement, partition sets always), fans the survivors
+out over a :class:`~repro.storage.pool.TracedPool` so an N-shard
+query's latency composes per wave (max within a wave, sum across
+waves) exactly like the executor's modeled fan-out, load-balances each
+shard across its replicas round-robin, hedges slow primaries to a
+replica per :class:`~repro.shard.hedge.HedgePolicy`, and merges the
+per-shard answers — a global top-k heap merge for scoring queries, a
+deterministic union for exact ones.
+
+Failure is per shard, never silent: a shard whose index reads fail
+degrades to brute-force inside its own :class:`~repro.serve
+.SearchServer` (exact answers, counted degraded); a shard whose *data*
+reads fail is reported in :attr:`RoutedResult.failed_shards` (partial
+mode) or raises :class:`~repro.errors.ShardUnavailable` (error mode).
+Per-shard latency/traffic land in the telemetry hub under
+``router.shard<N>.*`` — the same sketches the hedge policy and the
+per-shard SLOs (:func:`repro.shard.slo.router_slo`) read.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.client import SearchMatch
+from repro.core.queries import Query
+from repro.errors import ShardError, ShardUnavailable
+from repro.obs.metrics import get_registry
+from repro.obs.timeseries import get_hub
+from repro.obs.trace import get_tracer
+from repro.shard.hedge import HedgePolicy
+from repro.shard.plan import ShardDeployment, ShardGroup, ShardReplica
+from repro.storage.costs import CostModel
+from repro.storage.object_store import InMemoryObjectStore
+from repro.storage.pool import IOBudget, TracedPool
+from repro.storage.stats import RequestTrace
+
+#: Instance type the per-shard searcher compute is priced on.
+ROUTER_INSTANCE = "c6i.2xlarge"
+
+_ROUTER_QUERIES = get_registry().counter(
+    "router_queries_total", "Routed queries by outcome", ("status",)
+)
+_HEDGES = get_registry().counter(
+    "router_hedges_total",
+    "Hedged shard requests issued after the per-shard latency threshold",
+)
+_HEDGE_WINS = get_registry().counter(
+    "router_hedge_wins_total",
+    "Hedged shard requests that beat their primary",
+)
+_PRUNED = get_registry().counter(
+    "router_shards_pruned_total",
+    "Shards skipped by hash/min-max/partition pruning",
+)
+_SHARD_FAILURES = get_registry().counter(
+    "router_shard_failures_total",
+    "Shard queries that failed even after brute-force fallback",
+    ("shard",),
+)
+
+
+def _rank_key(match: SearchMatch):
+    return (match.score, match.file, match.row)
+
+
+def _exact_key(match: SearchMatch):
+    return (match.file, match.row)
+
+
+def merge_topk(ranked: Sequence[Sequence[SearchMatch]], k: int) -> list[SearchMatch]:
+    """Global top-k heap merge of per-shard scored result lists.
+
+    Equivalent to sorting the union by ``(score, file, row)`` and
+    taking the first ``k`` (the property test pins this), but does the
+    k-way merge with a heap over per-shard sorted runs. Ties on score
+    break deterministically on ``(file, row)``.
+    """
+    runs = [sorted(matches, key=_rank_key) for matches in ranked]
+    merged = heapq.merge(*runs, key=_rank_key)
+    return [match for _, match in zip(range(k), merged)]
+
+
+def merge_exact(
+    lists: Sequence[Sequence[SearchMatch]], k: int
+) -> list[SearchMatch]:
+    """Deterministic union of per-shard exact matches, truncated to k."""
+    runs = [sorted(matches, key=_exact_key) for matches in lists]
+    merged = heapq.merge(*runs, key=_exact_key)
+    return [match for _, match in zip(range(k), merged)]
+
+
+def _trace_request_usd(trace: RequestTrace, costs: CostModel) -> float:
+    """Price a request trace's operations (HEAD billed as GET)."""
+    gets = puts = lists = 0
+    for round_ in trace.rounds:
+        for request in round_:
+            if request.op in ("GET", "HEAD"):
+                gets += 1
+            elif request.op == "PUT":
+                puts += 1
+            elif request.op == "LIST":
+                lists += 1
+    return costs.request_cost(gets=gets, puts=puts, lists=lists)
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard contributed to a routed query."""
+
+    shard_id: int
+    replica_id: int = 0
+    matches: list[SearchMatch] = field(default_factory=list)
+    latency_s: float = 0.0
+    requests: int = 0
+    request_usd: float = 0.0
+    hedged: bool = False
+    hedge_won: bool = False
+    degraded: bool = False
+    error: Exception | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+@dataclass
+class RoutedResult:
+    """Merged answer plus per-shard accounting for one routed query."""
+
+    matches: list[SearchMatch]
+    outcomes: list[ShardOutcome]
+    shards_pruned: int
+    modeled_latency_s: float
+    request_usd: float
+    compute_usd: float
+
+    @property
+    def shards_queried(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failed_shards(self) -> list[int]:
+        return [o.shard_id for o in self.outcomes if o.failed]
+
+    @property
+    def degraded_shards(self) -> list[int]:
+        return [o.shard_id for o in self.outcomes if o.degraded]
+
+    @property
+    def hedges(self) -> int:
+        return sum(1 for o in self.outcomes if o.hedged)
+
+    @property
+    def hedge_wins(self) -> int:
+        return sum(1 for o in self.outcomes if o.hedge_won)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(o.requests for o in self.outcomes)
+
+    @property
+    def cost_usd(self) -> float:
+        return self.request_usd + self.compute_usd
+
+    @property
+    def complete(self) -> bool:
+        """True when every queried shard answered."""
+        return not any(o.failed for o in self.outcomes)
+
+
+class QueryRouter:
+    """Stateless scatter-gather router over a :class:`ShardDeployment`.
+
+    ``fanout`` bounds how many shards are queried concurrently (one
+    TracedPool wave); it defaults to the shard count, so a healthy
+    deployment answers in a single wave whose modeled latency is the
+    slowest shard, not the sum. ``on_shard_failure`` picks between
+    raising :class:`ShardUnavailable` (``"error"``, default) and
+    returning a partial result with :attr:`RoutedResult.failed_shards`
+    populated (``"partial"``) — failures are reported either way,
+    never silently dropped from the merge.
+    """
+
+    def __init__(
+        self,
+        deployment: ShardDeployment,
+        *,
+        fanout: int | None = None,
+        hedge: HedgePolicy | None = HedgePolicy(),
+        prune: bool = True,
+        on_shard_failure: str = "error",
+        cost_model: CostModel | None = None,
+        budget: IOBudget | None = None,
+    ) -> None:
+        if on_shard_failure not in ("error", "partial"):
+            raise ShardError(
+                "on_shard_failure must be 'error' or 'partial', "
+                f"got {on_shard_failure!r}"
+            )
+        self.deployment = deployment
+        self.hedge = hedge
+        self.prune = prune
+        self.on_shard_failure = on_shard_failure
+        self.cost_model = cost_model or CostModel()
+        self.fanout = fanout or max(1, deployment.n_shards)
+        # The pool needs a store of its own for wave bookkeeping: shard
+        # traces are recorded inside each replica's server (through its
+        # caching store), so tracing the pool on a shard store would
+        # collide with the server's own start/stop on the same thread.
+        self._pool = TracedPool(
+            InMemoryObjectStore(clock=deployment.clock),
+            workers=self.fanout,
+            thread_name_prefix="router",
+            span_name="router:shard",
+            budget=budget,
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "QueryRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serving -------------------------------------------------------
+    def query(
+        self,
+        column: str,
+        query: Query,
+        *,
+        k: int = 10,
+        partition: str | None = None,
+    ) -> RoutedResult:
+        """Scatter ``query`` to eligible shards, gather, merge top-k."""
+        hub = get_hub()
+        groups, pruned = self.deployment.route(
+            column, query, partition=partition, prune=self.prune
+        )
+        if pruned:
+            _PRUNED.inc(pruned)
+        with get_tracer().span("router.query", column=column, k=k):
+            tasks = [
+                self._shard_task(group, column, query, k, partition, hub)
+                for group in groups
+            ]
+            outcomes: list[ShardOutcome] = []
+            if tasks:
+                _, outcomes = self._pool.run(tasks)
+
+        failed = [o for o in outcomes if o.failed]
+        if failed and self.on_shard_failure == "error":
+            _ROUTER_QUERIES.inc(status="failed")
+            raise ShardUnavailable(
+                f"{len(failed)} shard(s) failed: "
+                + ", ".join(
+                    f"shard{o.shard_id}: {o.error}" for o in failed
+                )
+            ) from failed[0].error
+
+        answered = [o for o in outcomes if not o.failed]
+        per_shard = [o.matches for o in answered]
+        if query.scoring:
+            matches = merge_topk(per_shard, k)
+        else:
+            matches = merge_exact(per_shard, k)
+
+        # Wave composition: within a wave shards run in parallel (max),
+        # waves run sequentially (sum) — TracedPool's execution shape.
+        modeled = 0.0
+        for start in range(0, len(outcomes), self.fanout):
+            wave = outcomes[start : start + self.fanout]
+            modeled += max((o.latency_s for o in wave), default=0.0)
+        request_usd = sum(o.request_usd for o in outcomes)
+        compute_usd = sum(
+            self.cost_model.compute_cost(ROUTER_INSTANCE, o.latency_s)
+            for o in outcomes
+        )
+
+        at_s = self.deployment.clock.now() if self.deployment.clock else 0.0
+        hub.quantiles("router.latency_s").observe(modeled, at_s=at_s)
+        hub.series("router.queries").observe(1.0, at_s=at_s)
+        hub.series("router.cost_usd").observe(
+            request_usd + compute_usd, at_s=at_s
+        )
+        _ROUTER_QUERIES.inc(status="partial" if failed else "ok")
+        return RoutedResult(
+            matches=matches,
+            outcomes=outcomes,
+            shards_pruned=pruned,
+            modeled_latency_s=modeled,
+            request_usd=request_usd,
+            compute_usd=compute_usd,
+        )
+
+    # -- per-shard execution -------------------------------------------
+    def _shard_task(
+        self,
+        group: ShardGroup,
+        column: str,
+        query: Query,
+        k: int,
+        partition: str | None,
+        hub,
+    ):
+        def run() -> ShardOutcome:
+            return self._query_shard(group, column, query, k, partition, hub)
+
+        return run
+
+    def _query_shard(
+        self,
+        group: ShardGroup,
+        column: str,
+        query: Query,
+        k: int,
+        partition: str | None,
+        hub,
+    ) -> ShardOutcome:
+        shard_id = group.shard_id
+        at_s = self.deployment.clock.now() if self.deployment.clock else 0.0
+        replica = group.pick()
+        outcome = ShardOutcome(shard_id=shard_id, replica_id=replica.replica_id)
+        try:
+            result, latency, degraded = self._attempt(
+                replica, column, query, k, partition
+            )
+        except Exception as exc:
+            outcome.error = exc
+            _SHARD_FAILURES.inc(shard=str(shard_id))
+            hub.series(f"router.shard{shard_id}.queries").observe(1.0, at_s=at_s)
+            hub.series(f"router.shard{shard_id}.failed").observe(1.0, at_s=at_s)
+            return outcome
+        outcome.degraded = degraded
+        outcome.requests = result.stats.trace.total_requests
+        outcome.request_usd = _trace_request_usd(
+            result.stats.trace, self.cost_model
+        )
+
+        threshold = self._hedge_threshold(group, shard_id, hub)
+        if threshold is not None and latency > threshold:
+            outcome.hedged = True
+            _HEDGES.inc()
+            hub.series("router.hedges").observe(1.0, at_s=at_s)
+            peer = group.peer_of(replica)
+            try:
+                hedge_result, hedge_latency, hedge_degraded = self._attempt(
+                    peer, column, query, k, partition
+                )
+                # The hedge launches when the primary crosses the
+                # threshold; whichever answer lands first wins and the
+                # loser is cancelled. Both sets of issued requests are
+                # still paid for.
+                effective = threshold + hedge_latency
+                outcome.requests += hedge_result.stats.trace.total_requests
+                outcome.request_usd += _trace_request_usd(
+                    hedge_result.stats.trace, self.cost_model
+                )
+                if effective < latency:
+                    outcome.hedge_won = True
+                    _HEDGE_WINS.inc()
+                    hub.series("router.hedge_wins").observe(1.0, at_s=at_s)
+                    result, latency = hedge_result, effective
+                    outcome.degraded = hedge_degraded
+                    outcome.replica_id = peer.replica_id
+            except Exception:
+                pass  # hedge lost by dying; the primary answer stands
+
+        outcome.matches = result.matches
+        outcome.latency_s = latency
+        hub.quantiles(f"router.shard{shard_id}.latency_s").observe(
+            latency, at_s=at_s
+        )
+        hub.series(f"router.shard{shard_id}.queries").observe(1.0, at_s=at_s)
+        return outcome
+
+    def _attempt(
+        self,
+        replica: ShardReplica,
+        column: str,
+        query: Query,
+        k: int,
+        partition: str | None,
+    ):
+        """One replica query: (result, modeled latency, degraded?).
+
+        Degradation (index-read failure -> brute-force retry) happens
+        inside the replica's server; it is detected here by the
+        server's degraded counter moving, which can over-attribute
+        under concurrent routed queries to the same replica — an
+        accounting blur, never a correctness one.
+        """
+        server = replica.server
+        degraded_before = server.stats.degraded
+        result = server.query(column, query, k=k, partition=partition)
+        degraded = server.stats.degraded > degraded_before
+        latency = result.stats.estimated_latency(replica.latency_model)
+        return result, latency, degraded
+
+    def _hedge_threshold(
+        self, group: ShardGroup, shard_id: int, hub
+    ) -> float | None:
+        if self.hedge is None or len(group.replicas) < 2:
+            return None
+        sketch = hub.quantiles(f"router.shard{shard_id}.latency_s").merged()
+        return self.hedge.threshold_s(sketch)

@@ -1,0 +1,75 @@
+"""Per-shard SLOs for a routed deployment, on the burn-rate machinery.
+
+One sharded deployment gets ``1 + 2N`` objectives, all evaluated by
+the existing :mod:`repro.obs.slo` two-horizon burn-rate logic against
+the series the router already emits:
+
+* a router-level latency objective over ``router.latency_s`` (what the
+  caller experiences after scatter-gather + hedging);
+* per shard, a latency objective over ``router.shard<N>.latency_s``
+  (so one slow shard pages as *that shard*, not as a vague router
+  regression) and an availability objective of
+  ``router.shard<N>.failed`` over ``router.shard<N>.queries`` (a shard
+  that stops answering burns its own error budget even while the
+  router keeps serving partial results).
+
+``repro shard-bench`` evaluates this SLO over its run and the
+dashboard's router section sits next to the same numbers.
+"""
+
+from __future__ import annotations
+
+from repro.obs.slo import (
+    SLO,
+    AvailabilityObjective,
+    LatencyObjective,
+)
+
+
+def shard_latency_series(shard_id: int) -> str:
+    """Hub series name for one shard's routed latency sketch."""
+    return f"router.shard{shard_id}.latency_s"
+
+
+def router_slo(
+    n_shards: int,
+    *,
+    latency_p99_s: float = 1.0,
+    shard_latency_p99_s: float | None = None,
+    shard_availability: float = 0.999,
+) -> SLO:
+    """The routed-deployment SLO: router latency + per-shard objectives.
+
+    ``shard_latency_p99_s`` defaults to the router budget — in a
+    single-wave deployment the router is only as fast as its slowest
+    shard, so the same ceiling applies per shard.
+    """
+    per_shard = (
+        shard_latency_p99_s if shard_latency_p99_s is not None else latency_p99_s
+    )
+    objectives: list = [
+        LatencyObjective(
+            name=f"router_latency_p99_le_{latency_p99_s:g}s",
+            quantile=0.99,
+            threshold_s=latency_p99_s,
+            series="router.latency_s",
+        )
+    ]
+    for shard_id in range(n_shards):
+        objectives.append(
+            LatencyObjective(
+                name=f"shard{shard_id}_latency_p99_le_{per_shard:g}s",
+                quantile=0.99,
+                threshold_s=per_shard,
+                series=shard_latency_series(shard_id),
+            )
+        )
+        objectives.append(
+            AvailabilityObjective(
+                name=f"shard{shard_id}_availability_ge_{shard_availability:g}",
+                target=shard_availability,
+                total_series=f"router.shard{shard_id}.queries",
+                bad_series=f"router.shard{shard_id}.failed",
+            )
+        )
+    return SLO(objectives=objectives)

@@ -186,6 +186,64 @@ def test_indexed_search_matches_bruteforce_oracle(workload, state, workers):
                 assert indexed.stats.index_files_queried > 0
 
 
+@pytest.mark.parametrize("n_shards", [1, 4])
+@pytest.mark.parametrize("state", sorted(STATES))
+@pytest.mark.parametrize("workload", WORKLOADS, ids=[w.name for w in WORKLOADS])
+def test_sharded_router_matches_single_server_oracle(workload, state, n_shards):
+    """The sharded deployment column: routing the lake through a
+    scatter-gather router over {1, 4} shards returns exactly what one
+    brute-force server returns, for every workload x lake state.
+
+    Shard lakes salt their file names differently than the source, so
+    the comparison canonicalizes on values (exact queries) and scores
+    (top-k queries) rather than ``(file, row)`` identity.
+    """
+    from repro.obs.timeseries import TelemetryHub, use_hub
+    from repro.shard import QueryRouter, ShardPlan
+
+    store, lake, client = _fresh(workload)
+    with MaintenancePipeline(client, workers=1) as pipe:
+        STATES[state](workload, store, lake, pipe)
+
+    # The deployment is always sharded by the uuid column (vectors are
+    # not hashable keys); per-shard indexes mirror the lake state.
+    indexes = (
+        []
+        if state == "unindexed"
+        else [(workload.column, workload.index_type, workload.params)]
+    )
+    with use_hub(TelemetryHub()):
+        deployment = ShardPlan(n_shards=n_shards).materialize(
+            lake, "uuid", indexes=indexes
+        )
+        assert deployment.total_rows == lake.snapshot().num_rows
+        with deployment, QueryRouter(deployment, hedge=None) as router:
+            for query, k in workload.queries(lake):
+                routed = router.query(workload.column, query, k=k)
+                oracle = client.search(
+                    workload.column, query, k=k, use_indices=False
+                )
+                assert routed.complete, (
+                    f"{workload.name}/{state}/shards={n_shards}: "
+                    f"shard failures for {query!r}"
+                )
+                if query.scoring:
+                    assert sorted(m.score for m in routed.matches) == (
+                        pytest.approx(sorted(m.score for m in oracle.matches))
+                    )
+                else:
+                    assert sorted(m.value for m in routed.matches) == sorted(
+                        m.value for m in oracle.matches
+                    ), (
+                        f"{workload.name}/{state}/shards={n_shards}: "
+                        f"router != oracle for {query!r}"
+                    )
+                if workload.name == "uuids" and isinstance(query, UuidQuery):
+                    # Hash placement prunes exact-key queries on the
+                    # shard key down to the single owning shard.
+                    assert routed.shards_pruned == n_shards - 1
+
+
 @pytest.mark.parametrize("workload", WORKLOADS, ids=[w.name for w in WORKLOADS])
 def test_maintenance_states_commit_identically_at_any_width(workload):
     """Worker count is invisible in committed metadata: the covered

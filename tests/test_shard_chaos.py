@@ -1,0 +1,138 @@
+"""Chaos for the sharded deployment: one shard's store misbehaves.
+
+The routed failure contract (ISSUE 6): a shard whose *index* reads
+fail degrades to brute-force inside its own server — the routed answer
+stays exact and the shard is reported degraded; a shard whose *data*
+reads fail is reported failed (partial mode) or fails the query
+(error mode) — never silently dropped from the merge; a crash in the
+middle of a per-shard index build leaves that shard recoverable: the
+build re-runs and the deployment serves exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import RottnestClient
+from repro.core.queries import SubstringQuery, UuidQuery
+from repro.errors import ShardUnavailable, SimulatedCrash
+from repro.lake.table import LakeTable, TableConfig
+from repro.obs.timeseries import TelemetryHub, use_hub
+from repro.shard import QueryRouter, ShardPlan
+from repro.storage.faults import FaultyObjectStore
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.clock import SimClock
+
+from tests.conftest import EVENT_SCHEMA, event_batch, event_uuid
+
+CONFIG = TableConfig(row_group_rows=64, page_target_bytes=4096)
+
+
+def _faulty_deployment(n_shards: int = 2, indexes=(("uuid", "uuid_trie", {}),)):
+    """A sharded deployment whose shard stores accept fault rules."""
+    store = InMemoryObjectStore(clock=SimClock(start=1_000_000.0))
+    lake = LakeTable.create(store, "lake/events", EVENT_SCHEMA, CONFIG)
+    for i in range(4):
+        lake.append(event_batch(40, seed=i + 1))
+    client = RottnestClient(store, "idx/events", lake)
+    deployment = ShardPlan(n_shards=n_shards).materialize(
+        lake,
+        "uuid",
+        indexes=list(indexes),
+        store_factory=lambda shard_id: FaultyObjectStore(
+            InMemoryObjectStore(clock=store.clock)
+        ),
+        cache_budget_bytes=1,  # cold reads: every query hits the rules
+    )
+    return lake, client, deployment
+
+
+def test_index_read_fault_degrades_shard_but_stays_exact():
+    lake, client, deployment = _faulty_deployment()
+    with use_hub(TelemetryHub()), deployment:
+        key = event_uuid(2, 10)
+        target = deployment.assign(key)
+        faulty: FaultyObjectStore = deployment.groups[target].store
+        faulty.fail_next("GET", key_substring="idx/shard")
+        with QueryRouter(deployment, hedge=None) as router:
+            routed = router.query("uuid", UuidQuery(key), k=100)
+        oracle = client.search("uuid", UuidQuery(key), k=100, use_indices=False)
+        # The shard fell back to brute force inside its server: the
+        # answer is still exact, and the degradation is reported.
+        assert routed.complete
+        assert routed.degraded_shards == [target]
+        assert sorted(m.value for m in routed.matches) == sorted(
+            m.value for m in oracle.matches
+        )
+
+
+def test_data_read_faults_fail_shard_loudly_partial_mode():
+    lake, client, deployment = _faulty_deployment()
+    with use_hub(TelemetryHub()) as hub, deployment:
+        target = 0
+        # Record what the doomed shard holds while its store is healthy.
+        target_values = set(
+            LakeTable.open(
+                deployment.groups[target].store, "lake/shard"
+            ).to_pylist("text")
+        )
+        faulty: FaultyObjectStore = deployment.groups[target].store
+        # Data reads fail persistently: index probe and the brute-force
+        # fallback both die (rules are one-shot, so arm a batch).
+        for i in range(400):
+            faulty.fail_next("GET", key_substring="lake/shard/data", countdown=i)
+
+        needle = lake.to_pylist("text")[0][:2]  # short: matches everywhere
+        oracle = client.search(
+            "text", SubstringQuery(needle), k=10_000, use_indices=False
+        )
+        with QueryRouter(
+            deployment, hedge=None, on_shard_failure="partial"
+        ) as router:
+            routed = router.query("text", SubstringQuery(needle), k=10_000)
+        # The dead shard is reported, the survivors' union is exact.
+        assert routed.failed_shards == [target]
+        assert not routed.complete
+        expected = sorted(
+            v
+            for v in (m.value for m in oracle.matches)
+            if v not in target_values
+        )
+        assert sorted(m.value for m in routed.matches) == expected
+        assert hub.series(f"router.shard{target}.failed").count() == 1
+
+
+def test_data_read_faults_raise_in_error_mode():
+    lake, client, deployment = _faulty_deployment()
+    with use_hub(TelemetryHub()), deployment:
+        faulty: FaultyObjectStore = deployment.groups[1].store
+        for i in range(400):
+            faulty.fail_next("GET", key_substring="lake/shard/data", countdown=i)
+        needle = lake.to_pylist("text")[0][:2]
+        with QueryRouter(
+            deployment, hedge=None, on_shard_failure="error"
+        ) as router:
+            with pytest.raises(ShardUnavailable):
+                router.query("text", SubstringQuery(needle), k=10_000)
+
+
+def test_crash_during_shard_index_build_is_recoverable():
+    lake, client, deployment = _faulty_deployment(indexes=())
+    with use_hub(TelemetryHub()), deployment:
+        target = 0
+        faulty: FaultyObjectStore = deployment.groups[target].store
+        faulty.crash_after("PUT", key_substring="idx/shard")
+        with pytest.raises(SimulatedCrash):
+            deployment.build_indexes([("uuid", "uuid_trie", {})])
+        # The maintenance client died mid-build; a clean retry completes
+        # on every shard and the deployment serves exactly.
+        faulty.clear_rules()
+        assert deployment.build_indexes([("uuid", "uuid_trie", {})]) == 2
+        key = event_uuid(3, 5)
+        with QueryRouter(deployment, hedge=None) as router:
+            routed = router.query("uuid", UuidQuery(key), k=100)
+        oracle = client.search("uuid", UuidQuery(key), k=100, use_indices=False)
+        assert routed.complete
+        assert sorted(m.value for m in routed.matches) == sorted(
+            m.value for m in oracle.matches
+        )

@@ -1,0 +1,65 @@
+"""Property: the router's global-k heap merge equals sort-the-union.
+
+:func:`repro.shard.merge_topk` merges per-shard sorted runs with a
+heap; its contract is that the result is *exactly*
+``sorted(union)[:k]`` under the deterministic rank key ``(score, file,
+row)`` — for any shard count, any per-shard distribution (including
+empty shards), duplicate ``(file, row)`` keys across shards, and score
+ties. :func:`repro.shard.merge_exact` owes the same under ``(file,
+row)``. Hypothesis drives all of it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import SearchMatch
+from repro.shard import merge_exact, merge_topk
+
+# Tiny alphabets on purpose: collisions and ties should be the norm,
+# not the exception, so the tie-breaking contract is actually exercised.
+_files = st.sampled_from(["a.parquet", "b.parquet", "c.parquet"])
+_rows = st.integers(min_value=0, max_value=5)
+_scores = st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0])
+
+_scored_match = st.builds(
+    SearchMatch, file=_files, row=_rows, value=st.just("v"), score=_scores
+)
+_exact_match = st.builds(
+    SearchMatch, file=_files, row=_rows, value=st.just("v"), score=st.none()
+)
+
+
+def _sharded(match_strategy):
+    """1..6 shards, each holding 0..12 matches."""
+    return st.lists(
+        st.lists(match_strategy, max_size=12), min_size=1, max_size=6
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(ranked=_sharded(_scored_match), k=st.integers(min_value=0, max_value=30))
+def test_merge_topk_equals_sorted_union(ranked, k):
+    merged = merge_topk(ranked, k)
+    union = [m for matches in ranked for m in matches]
+    expected = sorted(union, key=lambda m: (m.score, m.file, m.row))[:k]
+    assert merged == expected
+    assert len(merged) == min(k, len(union))
+
+
+@settings(max_examples=200, deadline=None)
+@given(lists=_sharded(_exact_match), k=st.integers(min_value=0, max_value=30))
+def test_merge_exact_equals_sorted_union(lists, k):
+    merged = merge_exact(lists, k)
+    union = [m for matches in lists for m in matches]
+    expected = sorted(union, key=lambda m: (m.file, m.row))[:k]
+    assert merged == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(ranked=_sharded(_scored_match), k=st.integers(min_value=0, max_value=30))
+def test_merge_topk_is_shard_agnostic(ranked, k):
+    """Re-partitioning the same union differently changes nothing."""
+    union = [m for matches in ranked for m in matches]
+    assert merge_topk(ranked, k) == merge_topk([union], k)

@@ -1,0 +1,189 @@
+"""Shard planning: assignment, materialization, and routing metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import RangeQuery, UuidQuery
+from repro.errors import ShardError
+from repro.lake.table import LakeTable, TableConfig
+from repro.shard import (
+    SHARD_LAKE_ROOT,
+    ShardPlan,
+    hash_shard,
+)
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.clock import SimClock
+
+from tests.conftest import EVENT_SCHEMA, event_batch, event_uuid
+
+CONFIG = TableConfig(row_group_rows=64, page_target_bytes=4096)
+
+
+def _event_lake(files: int = 4, rows: int = 40) -> LakeTable:
+    store = InMemoryObjectStore(clock=SimClock(start=1_000_000.0))
+    lake = LakeTable.create(store, "lake/events", EVENT_SCHEMA, CONFIG)
+    for i in range(files):
+        lake.append(event_batch(rows, seed=i + 1))
+    return lake
+
+
+def test_hash_shard_is_stable_and_in_range():
+    keys = [event_uuid(1, i) for i in range(64)] + ["str-key", 1234]
+    for n in (1, 2, 4, 7):
+        for key in keys:
+            shard = hash_shard(key, n)
+            assert 0 <= shard < n
+            assert shard == hash_shard(key, n)  # deterministic
+
+
+def test_plan_validation():
+    with pytest.raises(ShardError):
+        ShardPlan(n_shards=0)
+    with pytest.raises(ShardError):
+        ShardPlan(n_shards=2, replicas=0)
+    with pytest.raises(ShardError):
+        ShardPlan(n_shards=2, shard_by="modulo")
+    with pytest.raises(ShardError):
+        ShardPlan(n_shards=2).materialize(_event_lake(1), "no_such_column")
+
+
+def test_hash_materialize_conserves_and_places_rows():
+    lake = _event_lake()
+    plan = ShardPlan(n_shards=4)
+    with plan.materialize(lake, "uuid") as deployment:
+        assert deployment.n_shards == 4
+        assert deployment.total_rows == lake.snapshot().num_rows
+        # Every shard lake holds exactly the keys hash-assigned to it.
+        for group in deployment.groups:
+            shard_lake = LakeTable.open(group.store, SHARD_LAKE_ROOT)
+            keys = shard_lake.to_pylist("uuid")
+            assert len(keys) == group.spec.num_rows
+            assert all(hash_shard(k, 4) == group.shard_id for k in keys)
+        # ...and the union of shards is exactly the source multiset.
+        shard_keys = sorted(
+            k
+            for g in deployment.groups
+            for k in LakeTable.open(g.store, SHARD_LAKE_ROOT).to_pylist("uuid")
+        )
+        assert shard_keys == sorted(lake.to_pylist("uuid"))
+
+
+def test_range_materialize_builds_contiguous_spans():
+    lake = _event_lake()
+    plan = ShardPlan(n_shards=4, shard_by="range")
+    with plan.materialize(lake, "uuid") as deployment:
+        assert len(deployment.boundaries) == 3
+        assert list(deployment.boundaries) == sorted(deployment.boundaries)
+        assert deployment.total_rows == lake.snapshot().num_rows
+        # Shard key spans are disjoint and ordered: each shard's max is
+        # below the next shard's min.
+        specs = [g.spec for g in deployment.groups if g.spec.num_rows]
+        for left, right in zip(specs, specs[1:]):
+            assert left.key_max < right.key_min
+        # Equi-depth split: no shard is wildly larger than its peers.
+        sizes = [s.num_rows for s in specs]
+        assert max(sizes) <= 2 * min(sizes)
+
+
+def test_range_route_prunes_by_minmax():
+    lake = _event_lake()
+    plan = ShardPlan(n_shards=4, shard_by="range")
+    with plan.materialize(lake, "uuid") as deployment:
+        key = event_uuid(2, 7)
+        owner = deployment.assign(key)
+        eligible, pruned = deployment.route("uuid", UuidQuery(key))
+        assert [g.shard_id for g in eligible] == [owner]
+        assert pruned == 3
+        # A range query spanning two shards keeps exactly those two.
+        specs = [g.spec for g in deployment.groups]
+        lo, hi = specs[1].key_max, specs[2].key_min
+        eligible, pruned = deployment.route("uuid", RangeQuery(lo, hi))
+        assert {g.shard_id for g in eligible} == {1, 2}
+        # Queries on a non-key column never key-prune.
+        eligible, _ = deployment.route("text", UuidQuery(key))
+        assert len(eligible) == 4
+
+
+def test_hash_route_prunes_to_owning_shard():
+    lake = _event_lake()
+    with ShardPlan(n_shards=4).materialize(lake, "uuid") as deployment:
+        for seed, i in ((1, 0), (3, 19), (4, 39)):
+            key = event_uuid(seed, i)
+            eligible, pruned = deployment.route("uuid", UuidQuery(key))
+            assert [g.shard_id for g in eligible] == [deployment.assign(key)]
+            assert pruned == 3
+        # prune=False always scatters everywhere.
+        eligible, pruned = deployment.route(
+            "uuid", UuidQuery(event_uuid(1, 0)), prune=False
+        )
+        assert len(eligible) == 4 and pruned == 0
+
+
+def test_partitions_survive_sharding_and_prune():
+    store = InMemoryObjectStore(clock=SimClock(start=1_000_000.0))
+    lake = LakeTable.create(store, "lake/events", EVENT_SCHEMA, CONFIG)
+    lake.append(event_batch(40, seed=1), partition="2026-08-01")
+    lake.append(event_batch(40, seed=2), partition="2026-08-02")
+    with ShardPlan(n_shards=2).materialize(lake, "uuid") as deployment:
+        partitions = set().union(
+            *(g.spec.partitions for g in deployment.groups)
+        )
+        assert partitions == {"2026-08-01", "2026-08-02"}
+        eligible, _ = deployment.route(
+            "text", UuidQuery(b"x"), partition="2026-08-01"
+        )
+        assert all(
+            "2026-08-01" in g.spec.partitions for g in eligible
+        )
+        # An unknown partition prunes every shard.
+        eligible, pruned = deployment.route(
+            "text", UuidQuery(b"x"), partition="1999-01-01"
+        )
+        assert eligible == [] and pruned == 2
+
+
+def test_empty_shards_are_never_queried():
+    # One row cannot populate every shard; empty shards must be skipped.
+    store = InMemoryObjectStore(clock=SimClock(start=1_000_000.0))
+    lake = LakeTable.create(store, "lake/events", EVENT_SCHEMA, CONFIG)
+    batch = event_batch(1, seed=1)
+    lake.append(batch)
+    with ShardPlan(n_shards=4).materialize(lake, "uuid") as deployment:
+        assert deployment.total_rows == 1
+        eligible, _ = deployment.route(
+            "text", UuidQuery(b"x"), prune=True
+        )
+        assert all(g.spec.num_rows for g in eligible)
+        assert len(eligible) == 1
+
+
+def test_replica_sets_round_robin_and_peer():
+    lake = _event_lake(files=2)
+    with ShardPlan(n_shards=2, replicas=3).materialize(
+        lake, "uuid"
+    ) as deployment:
+        group = deployment.groups[0]
+        assert len(group.replicas) == 3
+        picks = [group.pick().replica_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+        for replica in group.replicas:
+            peer = group.peer_of(replica)
+            assert peer is not None
+            assert peer.replica_id != replica.replica_id
+        # Without replication there is nobody to hedge to.
+        single = ShardPlan(n_shards=1).materialize(lake, "uuid")
+        with single:
+            only = single.groups[0]
+            assert only.peer_of(only.replicas[0]) is None
+
+
+def test_build_indexes_tolerates_row_floor():
+    # 40 rows per shard is far under ivf_pq's 256-row floor: the build
+    # aborts per shard, returns 0, and the deployment still serves.
+    lake = _event_lake(files=2, rows=40)
+    with ShardPlan(n_shards=2).materialize(lake, "uuid") as deployment:
+        assert deployment.build_indexes(
+            [("emb", "ivf_pq", {"nlist": 4, "m": 8})]
+        ) == 0
+        assert deployment.build_indexes([("uuid", "uuid_trie", {})]) == 2
