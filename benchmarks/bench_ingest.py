@@ -1,0 +1,89 @@
+"""Real-time ingest benchmark: freshness lag under concurrent write+read.
+
+One seeded interleaved run from :mod:`repro.ingest.bench`: writers ack
+batches into the WAL, readers immediately probe for the just-acked keys
+(fresh recall must be perfect — that is the ack contract), a drain
+fires every few batches, and after the final drain the same keys are
+probed again through the lazy tier. Three families of numbers land in
+``BENCH_ingest.json`` for the regression gate:
+
+* **freshness** — the drainer-measured lag (lake commit time minus WAL
+  PUT time on the shared sim clock) p50/p99, plus row conservation
+  across the handoff;
+* **fresh queries** — modeled p50/p99 of probes answered from the
+  in-memory tier while segments are still undrained;
+* **lazy queries** — modeled p50/p99 of the same keys after the drain,
+  answered by the indexed lake.
+
+Everything is modeled from request traces under the sim clock, so the
+persisted numbers are deterministic and ``tests/test_bench_regression.py``
+pins them against ``benchmarks/baselines/BENCH_ingest.json``.
+"""
+
+from __future__ import annotations
+
+from repro.ingest.bench import run_ingest_bench
+
+from benchmarks.common import write_bench, write_result
+
+
+def test_ingest_freshness_and_latency(benchmark):
+    result = benchmark(lambda: run_ingest_bench())
+
+    text = (
+        "=== ingest: freshness lag + merged fresh/lazy queries (modeled) ===\n"
+        + result.describe()
+    )
+    print(text)
+    write_result("ingest_freshness.txt", text)
+
+    write_bench(
+        "ingest",
+        "freshness",
+        params={
+            "batches": result.batches,
+            "rows": result.rows,
+            "drain_every": result.drain_every,
+            "interval_s": result.interval_s,
+            "max_lag_s": result.max_lag_s,
+        },
+        metrics={
+            "freshness_lag_p50_s": result.lag_p50_s,
+            "freshness_lag_p99_s": result.lag_p99_s,
+            "segments_drained": result.lag_count,
+            "drains": result.drains,
+            "ingested_rows": result.ingested_rows,
+            "drained_rows": result.drained_rows,
+        },
+    )
+    write_bench(
+        "ingest",
+        "fresh_queries",
+        metrics={
+            "hit_rate": result.fresh_recall,
+            "p50_modeled_ms": result.fresh_p50_ms,
+            "p99_modeled_ms": result.fresh_p99_ms,
+            "probes": result.fresh_probes,
+        },
+    )
+    write_bench(
+        "ingest",
+        "lazy_queries",
+        metrics={
+            "hit_rate": result.lazy_recall,
+            "p50_modeled_ms": result.lazy_p50_ms,
+            "p99_modeled_ms": result.lazy_p99_ms,
+            "probes": result.lazy_probes,
+        },
+    )
+
+    # Acceptance (ISSUE 7): acked means searchable (perfect fresh
+    # recall before any index covers the rows), nothing dropped or
+    # duplicated across the handoff, and the measured freshness lag
+    # stays inside the configured budget.
+    assert result.fresh_recall == 1.0
+    assert result.lazy_recall == 1.0
+    assert result.drained_rows == result.ingested_rows
+    assert result.lag_count > 0
+    assert result.lag_p99_s <= result.max_lag_s
+    assert result.ok

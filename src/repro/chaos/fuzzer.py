@@ -1,9 +1,10 @@
 """Randomized crash-fault fuzzer for the whole maintenance protocol.
 
 One :class:`ProtocolFuzzer` run is a seeded, fully deterministic
-history: simulated clients interleave ``append`` / ``index`` /
-``search`` / ``compact`` / ``vacuum`` against one in-memory lake, and
-with configurable probability each maintenance operation's client is
+history: simulated clients interleave ``append`` / ``ingest`` /
+``index`` / ``search`` / ``compact`` / ``vacuum`` / ``drain`` against
+one in-memory lake (plus its real-time ingest tier), and
+with configurable probability each mutating operation's client is
 killed right after one of its object-store mutations
 (:class:`~repro.errors.SimulatedCrash`). After every crash the
 Existence/Consistency invariants are audited from a fresh client, the
@@ -36,7 +37,9 @@ from repro.core.maintenance import compact_indices, vacuum_indices
 from repro.core.queries import SubstringQuery, UuidQuery
 from repro.errors import IndexAborted, SimulatedCrash
 from repro.formats.schema import ColumnType, Field, Schema
+from repro.ingest import IngestDrainer, IngestTier
 from repro.lake.table import LakeTable, TableConfig
+from repro.maintain.pipeline import MaintenancePipeline
 from repro.obs.export import render_timeline
 from repro.obs.trace import Tracer, use_tracer
 from repro.serve.server import SearchServer
@@ -46,6 +49,7 @@ from repro.util.clock import SimClock
 
 LAKE_ROOT = "lake/chaos"
 INDEX_DIR = "idx/chaos"
+INGEST_ROOT = "ingest/chaos"
 
 #: Fixed word list for synthetic documents; small enough that substring
 #: probes hit often, large enough that they do not hit everything.
@@ -175,6 +179,15 @@ class ProtocolFuzzer:
         self.server = SearchServer(
             self._client(self.server_store), max_searchers=2, max_inflight=2
         )
+        # One canonical fresh tier over the plain store, shared by every
+        # client and the server: rows acked by ``ingest`` are searchable
+        # from any of them before a single index run. Crashing writers
+        # get their own faulty-store *view* of the same WAL; afterwards
+        # the canonical tier resyncs from durable state via recover().
+        self.tier = IngestTier(self.store, INGEST_ROOT, self.lake)
+        for client in self.clients:
+            client.fresh_tier = self.tier
+        self.server.client.fresh_tier = self.tier
         self.rows: list[tuple[bytes, str]] = []  # the search oracle
         self.report = ChaosReport(config=self.config)
 
@@ -235,7 +248,7 @@ class ProtocolFuzzer:
     def _pick_action(self) -> str:
         choices: list[str] = ["advance"]
         if len(self.rows) < self.config.max_rows:
-            choices += ["append"] * 3
+            choices += ["append"] * 3 + ["ingest"] * 3
         if self.rows:
             choices += (
                 ["index"] * 3 + ["compact"] * 2 + ["vacuum"] * 2
@@ -243,6 +256,8 @@ class ProtocolFuzzer:
             )
             if self._indexed():
                 choices += ["degraded"]
+        if self.tier.pending_seqs():
+            choices += ["drain"] * 2
         return self.rng.choice(choices)
 
     def _indexed(self) -> bool:
@@ -274,6 +289,10 @@ class ProtocolFuzzer:
                 "vacuum",
                 lambda c: vacuum_indices(c, snapshot_id=snapshot_id),
             )
+        elif action == "ingest":
+            self._ingest(step)
+        elif action == "drain":
+            self._drain(step)
         elif action == "search":
             client = self.rng.choice(self.clients)
             self._check_search(
@@ -299,6 +318,99 @@ class ProtocolFuzzer:
         ]
         self.lake.append({"uuid": uuids, "text": texts})
         self.rows.extend(zip(uuids, texts))
+
+    def _ingest_view(self, store) -> IngestTier:
+        """A tier over ``store`` sharing the canonical WAL and lake."""
+        lake = LakeTable.open(store, LAKE_ROOT, self.lake.config)
+        return IngestTier(store, INGEST_ROOT, lake)
+
+    def _batch(self) -> tuple[list[bytes], list[str]]:
+        n = self.rng.randint(5, 25)
+        uuids = [
+            self.rng.getrandbits(128).to_bytes(16, "big") for _ in range(n)
+        ]
+        texts = [
+            " ".join(
+                self.rng.choice(VOCAB)
+                for _ in range(self.rng.randint(4, 9))
+            )
+            for _ in range(n)
+        ]
+        return uuids, texts
+
+    def _ingest(self, step: int) -> None:
+        """One real-time batch, possibly killing the writer at its PUT.
+
+        The WAL frame PUT is the durability point *and* the only
+        mutation ``ingest`` makes, so a crashed writer still leaves the
+        rows durable — they go into the oracle either way, and the
+        canonical tier resyncs from the WAL exactly as a restarted
+        process would.
+        """
+        uuids, texts = self._batch()
+        columns = {"uuid": uuids, "text": texts}
+        if self.rng.random() < self.config.crash_probability:
+            faulty = FaultyObjectStore(self.store)
+            view = self._ingest_view(faulty)
+            faulty.crash_after("MUTATE", countdown=0)
+            try:
+                view.ingest(columns)
+            except SimulatedCrash as exc:
+                self._after_crash(
+                    step, "ingest", exc, lambda client: self.tier.recover()
+                )
+            finally:
+                faulty.clear_rules()
+                self.tier.recover()
+        else:
+            self.tier.ingest(columns)
+        self.rows.extend(zip(uuids, texts))
+
+    def _drain(self, step: int) -> None:
+        """Drain the fresh tier to the lake, possibly crashing mid-way.
+
+        Recovery is just a fresh fault-free drain — the handoff is
+        idempotent at every boundary — and the canonical tier resyncs
+        afterwards so reads reflect whatever the crash left durable.
+        """
+        specs = []
+        if self.rng.random() < 0.5:
+            specs = [self.rng.choice(INDEXABLE)]
+        crash = self.rng.random() < self.config.crash_probability
+        store = FaultyObjectStore(self.store) if crash else self.store
+        tier = self._ingest_view(store)
+        if crash:
+            countdown = (
+                self.rng.randint(0, 3)
+                if self.rng.random() < 0.8
+                else self.rng.randint(4, 12)
+            )
+            store.crash_after("MUTATE", countdown=countdown)
+        try:
+            self._drain_once(store, tier, specs)
+        except IndexAborted:
+            pass  # index stage had too little data; drain re-runs later
+        except SimulatedCrash as exc:
+            self._after_crash(
+                step,
+                "drain",
+                exc,
+                lambda client: self._recover_drain(specs),
+            )
+        finally:
+            if crash:
+                store.clear_rules()
+            self.tier.recover()
+
+    def _drain_once(self, store, tier: IngestTier, specs) -> None:
+        with MaintenancePipeline(self._client(store), workers=1) as pipeline:
+            IngestDrainer(tier, pipeline=pipeline, index_specs=specs).drain()
+
+    def _recover_drain(self, specs) -> None:
+        try:
+            self._drain_once(self.store, self._ingest_view(self.store), specs)
+        except IndexAborted:
+            pass
 
     def _maintenance(self, step: int, verb: str, fn) -> None:
         """Run one maintenance op, possibly killing its client mid-way."""

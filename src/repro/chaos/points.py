@@ -17,6 +17,10 @@ protocol property worth stating.
 from __future__ import annotations
 
 from repro.core.client import INDEX_FILES_DIR
+from repro.ingest.wal import WAL_DIR
+from repro.lake.log import CHECKPOINT_DIR as LAKE_CHECKPOINT_DIR
+from repro.lake.log import LOG_DIR as LAKE_LOG_DIR
+from repro.lake.table import DATA_DIR
 from repro.meta.metadata_table import CHECKPOINT_DIR, META_LOG_DIR
 
 #: Every crash point the protocol can reach, with the §IV-D argument
@@ -70,10 +74,63 @@ CRASH_POINTS: dict[str, str] = {
         "vacuum finishes the remainder (deleting a missing key is an "
         "S3 no-op)."
     ),
+    "ingest:put-wal-frame": (
+        "The WAL segment PUT is the ingest durability point: if the "
+        "frame landed, recovery replays it into a memtable and the "
+        "rows are searchable; if it never landed, the writer never "
+        "got an ack and the batch simply does not exist. Either way "
+        "the fresh tier converges to exactly the durable segments."
+    ),
+    "drain:put-seal-marker": (
+        "A seal marker landed but the flush never happened. Seals "
+        "are advisory — drain recomputes the pending set from the "
+        "lake's SetTransaction floor, not from seal markers — so a "
+        "re-run re-seals idempotently and continues."
+    ),
+    "drain:put-data-file": (
+        "The merged lake data file uploaded, commit never happened. "
+        "The file is an invisible orphan (readers plan from the "
+        "transaction log only); its key is content-addressed, so the "
+        "re-run overwrites the same key with the same bytes."
+    ),
+    "drain:put-lake-commit": (
+        "The lake commit carrying AddFile + SetTransaction landed "
+        "atomically: the rows are in the lake and the ingest floor "
+        "advanced in the same log entry, so the fresh tier stops "
+        "reporting them the moment the lazy tier starts. The re-run "
+        "sees app_version already recorded and skips the flush."
+    ),
+    "drain:put-lake-checkpoint": (
+        "Commit landed, lake checkpoint upload interrupted. Pure "
+        "read optimization: readers replay the log tail; the re-run "
+        "re-attempts the same due checkpoint and converges."
+    ),
+    "drain:delete-wal-frame": (
+        "Crashed partway through WAL truncation. Every segment being "
+        "deleted is at-or-below the committed floor, so the fresh "
+        "view (strictly above the floor) never included them; the "
+        "re-run finishes the remaining deletes (missing-key DELETE "
+        "is an S3 no-op)."
+    ),
+    "drain:put-index-file": (
+        "Drain's optional index stage died after uploading an index "
+        "file. Same orphan story as index:put-index-file — the drain "
+        "re-run replays the index stage and vacuum collects strays."
+    ),
+    "drain:put-meta-commit": (
+        "The index stage's metadata commit landed; the new index is "
+        "live. A re-run finds the files already covered and no-ops."
+    ),
+    "drain:put-meta-checkpoint": (
+        "Index-stage commit landed, metadata checkpoint interrupted "
+        "— harmless read optimization, as everywhere else."
+    ),
 }
 
-#: Maintenance verbs that mutate the store (search never does).
-MUTATING_VERBS = ("index", "compact", "vacuum")
+#: Verbs that mutate the store (search never does). ``index`` /
+#: ``compact`` / ``vacuum`` are the maintenance protocol; ``ingest``
+#: and ``drain`` are the real-time tier's write path.
+MUTATING_VERBS = ("index", "compact", "vacuum", "ingest", "drain")
 
 
 def classify_crash_point(verb: str, op: str, key: str) -> str:
@@ -99,6 +156,18 @@ def classify_crash_point(verb: str, op: str, key: str) -> str:
             if verb == "compact"
             else f"{verb}:put-index-file"
         )
+    elif op == "PUT" and f"/{WAL_DIR}/" in key and key.endswith(".seal"):
+        name = f"{verb}:put-seal-marker"
+    elif op == "PUT" and f"/{WAL_DIR}/" in key:
+        name = f"{verb}:put-wal-frame"
+    elif op == "DELETE" and f"/{WAL_DIR}/" in key:
+        name = f"{verb}:delete-wal-frame"
+    elif op == "PUT" and f"/{LAKE_LOG_DIR}/" in key:
+        name = f"{verb}:put-lake-commit"
+    elif op == "PUT" and f"/{LAKE_CHECKPOINT_DIR}/" in key:
+        name = f"{verb}:put-lake-checkpoint"
+    elif op == "PUT" and f"/{DATA_DIR}/" in key:
+        name = f"{verb}:put-data-file"
     else:
         name = f"{verb}:unclassified-{op.lower()}"
     return name

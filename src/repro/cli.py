@@ -465,6 +465,9 @@ def cmd_maintain_bench(args) -> int:
     """
     from repro.maintain.bench import run_maintain_bench
 
+    if args.files <= 0 or args.rows <= 0:
+        print("error: nothing to benchmark (empty input)", file=sys.stderr)
+        return 3
     workers = sorted(set(args.workers) | {1})
     result = run_maintain_bench(
         files=args.files, rows=args.rows, workers=tuple(workers)
@@ -485,6 +488,9 @@ def cmd_shard_bench(args) -> int:
     """
     from repro.shard.bench import run_shard_bench
 
+    if args.files <= 0 or args.rows <= 0 or args.queries <= 0:
+        print("error: nothing to benchmark (empty input)", file=sys.stderr)
+        return 3
     shards = tuple(sorted(set(args.shards) | {1}))
     result = run_shard_bench(
         files=args.files,
@@ -493,6 +499,34 @@ def cmd_shard_bench(args) -> int:
         replicas=args.replicas,
         queries=args.queries,
         slow_factor=args.slow_factor,
+    )
+    print(result.describe())
+    return 0 if result.ok else 2
+
+
+def cmd_ingest_bench(args) -> int:
+    """Modeled freshness of the real-time ingest tier.
+
+    Runs entirely in memory against a simulated clock (no ``--root``):
+    writers and readers interleave, every acked batch is immediately
+    probed (the freshness invariant as recall), periodic drains hand
+    rows to the lake, and the drainer's own lag measurements feed the
+    gate. Exit 0 when every probe hit and the freshness-lag p99 stays
+    within ``--max-lag-s``, 2 otherwise, 3 when there is nothing to
+    benchmark.
+    """
+    from repro.ingest.bench import run_ingest_bench
+
+    if args.batches <= 0 or args.rows <= 0:
+        print("error: nothing to benchmark (empty input)", file=sys.stderr)
+        return 3
+    result = run_ingest_bench(
+        batches=args.batches,
+        rows=args.rows,
+        drain_every=args.drain_every,
+        interval_s=args.interval_s,
+        probes_per_batch=args.probes,
+        max_lag_s=args.max_lag_s,
     )
     print(result.describe())
     return 0 if result.ok else 2
@@ -709,6 +743,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency multiplier of the injected slow node",
     )
     p.set_defaults(func=cmd_shard_bench)
+
+    p = sub.add_parser(
+        "ingest-bench",
+        help="modeled freshness of the real-time ingest tier (in-memory)",
+    )
+    p.add_argument(
+        "--batches", type=int, default=12, help="ingest batches to write"
+    )
+    p.add_argument("--rows", type=int, default=24, help="rows per batch")
+    p.add_argument(
+        "--drain-every", type=int, default=4,
+        help="batches between background drains",
+    )
+    p.add_argument(
+        "--interval-s", type=float, default=5.0,
+        help="modeled seconds between batches",
+    )
+    p.add_argument(
+        "--probes", type=int, default=4,
+        help="fresh probes per batch (each checks a just-acked row)",
+    )
+    p.add_argument(
+        "--max-lag-s", type=float, default=45.0,
+        help="freshness-lag p99 budget the gate enforces",
+    )
+    p.set_defaults(func=cmd_ingest_bench)
 
     def slo_flags(p):
         p.add_argument(

@@ -137,6 +137,14 @@ class RottnestClient:
         self.meta = MetadataTable(store, self.index_dir)
         self.index_timeout_s = index_timeout_s
         self.codec = codec
+        #: Optional :class:`repro.ingest.IngestTier`. When attached,
+        #: ``search`` merges the tier's fresh view of the query snapshot
+        #: (WAL segments beyond the snapshot's committed high-water
+        #: mark) with the lazy-tier results, so acked-but-undrained rows
+        #: are returned before any ``index`` run. Assigned, not
+        #: constructor-injected, to keep the core free of an ingest
+        #: dependency.
+        self.fresh_tier = None
         # Salt source for fresh index keys. Injectable so the chaos
         # fuzzer can make whole protocol histories bit-reproducible
         # from one seed.
@@ -450,16 +458,43 @@ class RottnestClient:
             stats = SearchStats(trace=plan_trace)
             stats.index_files_queried = len(chosen)
 
+            # Fresh tier first: memtable probes are in-memory, so they
+            # cost nothing in the trace but count toward K. Structured
+            # scoping (partition / file predicate) addresses lake files
+            # only, so scoped queries stay lazy-tier-only.
+            fresh: list[SearchMatch] = []
+            if (
+                self.fresh_tier is not None
+                and partition is None
+                and file_predicate is None
+            ):
+                with tracer.span("probe:fresh", phase="fresh") as fresh_span:
+                    fresh = self.fresh_tier.search_fresh(
+                        column, query, k=k, snapshot=snap
+                    )
+                    fresh_span.set("matches", len(fresh))
+
             if query.scoring:
-                matches = self._search_scoring(
+                lazy = self._search_scoring(
                     column, query, k, snap, snap_paths, chosen, uncovered, stats
                 )
+                matches = sorted(fresh + lazy, key=lambda m: m.score)[:k]
+            elif len(fresh) >= k:
+                matches = fresh[:k]
             else:
-                matches = self._search_exact(
-                    column, query, k, snap, snap_paths, chosen, uncovered, stats
+                matches = fresh + self._search_exact(
+                    column,
+                    query,
+                    k - len(fresh),
+                    snap,
+                    snap_paths,
+                    chosen,
+                    uncovered,
+                    stats,
                 )
             _SEARCHES.inc(kind="scoring" if query.scoring else "exact")
             root.set("matches", len(matches))
+            root.set("fresh_matches", len(fresh))
             root.set("index_files_queried", stats.index_files_queried)
             root.set("pages_probed", stats.pages_probed)
             root.set("files_brute_forced", stats.files_brute_forced)

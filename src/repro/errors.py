@@ -121,4 +121,12 @@ class ShardUnavailable(ShardError):
     rather than return a partial result."""
 
 
+class IngestError(ReproError):
+    """Base class for real-time ingest tier (``repro.ingest``) failures."""
+
+
+class WalCorruption(IngestError):
+    """A WAL segment failed its checksum or framing check on replay."""
+
+
 RottnestIndexError = IndexError_

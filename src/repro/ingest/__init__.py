@@ -1,0 +1,25 @@
+"""Real-time ingest tier: WAL + memtables in front of the lazy lake.
+
+The paper's maintenance protocol is deliberately lazy — appended rows
+are invisible to every index until the next ``index`` run. This package
+adds the write-read decoupled fresh tier that closes that gap: a
+crash-safe segmented write-ahead log (:mod:`repro.ingest.wal`) feeds
+in-memory per-workload search structures (:mod:`repro.ingest.memtable`)
+so acked rows are searchable immediately, and a background drainer
+(:mod:`repro.ingest.drain`) moves sealed segments into committed lake
+files — and optionally index parts via the maintenance pipeline — with
+an exactly-once handoff built on the lake's ``SetTransaction`` marker.
+"""
+
+from repro.ingest.drain import DrainReport, IngestDrainer
+from repro.ingest.memtable import Memtable
+from repro.ingest.tier import IngestTier
+from repro.ingest.wal import WriteAheadLog
+
+__all__ = [
+    "DrainReport",
+    "IngestDrainer",
+    "IngestTier",
+    "Memtable",
+    "WriteAheadLog",
+]

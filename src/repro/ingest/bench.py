@@ -1,0 +1,204 @@
+"""Modeled freshness scenario for the real-time ingest tier.
+
+One seeded run interleaves writers and readers against a simulated
+clock: batches land in the WAL, probes immediately search for rows
+from the newest batch (the ack contract: acked means searchable), a
+background-style drain fires every few batches, and after the final
+drain the same keys are probed again through the lazy tier. Latencies
+are *modeled* from request traces and the freshness lag is measured by
+the drainer itself (commit time minus segment PUT time on the shared
+sim clock), so the same parameters always produce the same numbers —
+which is what lets the benchmark regression gate pin them.
+
+Shared by ``benchmarks/bench_ingest.py`` (which persists
+``BENCH_ingest.json`` for the regression gate) and the
+``repro ingest-bench`` CLI subcommand (which prints the numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.client import RottnestClient
+from repro.core.queries import UuidQuery
+from repro.formats.schema import ColumnType, Field as SchemaField, Schema
+from repro.ingest.drain import IngestDrainer
+from repro.ingest.tier import IngestTier
+from repro.lake.table import LakeTable, TableConfig
+from repro.maintain.pipeline import MaintenancePipeline
+from repro.obs.timeseries import TelemetryHub, use_hub
+from repro.shard.bench import percentile
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.clock import SimClock
+from repro.workloads.uuids import UuidWorkload
+
+SCHEMA = Schema.of(SchemaField("uuid", ColumnType.BINARY))
+LAKE_ROOT = "lake/ingest-bench"
+INGEST_ROOT = "ingest/bench"
+INDEX_DIR = "idx/ingest-bench"
+
+
+@dataclass
+class IngestBenchResult:
+    """Freshness and latency numbers for one interleaved write+read run."""
+
+    batches: int
+    rows: int
+    drain_every: int
+    interval_s: float
+    max_lag_s: float
+    ingested_rows: int = 0
+    drained_rows: int = 0
+    drains: int = 0
+    fresh_probes: int = 0
+    fresh_hits: int = 0
+    lazy_probes: int = 0
+    lazy_hits: int = 0
+    fresh_p50_ms: float = 0.0
+    fresh_p99_ms: float = 0.0
+    lazy_p50_ms: float = 0.0
+    lazy_p99_ms: float = 0.0
+    lag_p50_s: float = 0.0
+    lag_p99_s: float = 0.0
+    lag_count: int = 0
+    hub: TelemetryHub | None = field(default=None, repr=False)
+
+    # -- derived -------------------------------------------------------
+    @property
+    def fresh_recall(self) -> float:
+        """Fraction of fresh probes that found their just-acked row."""
+        return self.fresh_hits / self.fresh_probes if self.fresh_probes else 0.0
+
+    @property
+    def lazy_recall(self) -> float:
+        """Fraction of post-drain probes that found their row in the lake."""
+        return self.lazy_hits / self.lazy_probes if self.lazy_probes else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """The acceptance shape: every acked row searchable immediately,
+        nothing lost across the handoff, and the measured freshness lag
+        within the configured budget."""
+        return (
+            self.fresh_recall == 1.0
+            and self.lazy_recall == 1.0
+            and self.drained_rows == self.ingested_rows
+            and self.lag_count > 0
+            and self.lag_p99_s <= self.max_lag_s
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary for the CLI."""
+        lines = [
+            f"ingest-bench: {self.batches} batches x {self.rows} rows, "
+            f"drain every {self.drain_every} "
+            f"(one batch per {self.interval_s:g}s modeled)",
+            f"  ingested {self.ingested_rows} rows; drained "
+            f"{self.drained_rows} across {self.drains} drain(s)",
+            f"  fresh probes: {self.fresh_hits}/{self.fresh_probes} hit "
+            f"(recall {self.fresh_recall:.2f})  "
+            f"p50 {self.fresh_p50_ms:.1f} ms  p99 {self.fresh_p99_ms:.1f} ms",
+            f"  lazy probes:  {self.lazy_hits}/{self.lazy_probes} hit "
+            f"(recall {self.lazy_recall:.2f})  "
+            f"p50 {self.lazy_p50_ms:.1f} ms  p99 {self.lazy_p99_ms:.1f} ms",
+            f"  freshness lag ({self.lag_count} segment(s)): "
+            f"p50 {self.lag_p50_s:.1f} s  p99 {self.lag_p99_s:.1f} s  "
+            f"(budget {self.max_lag_s:g} s)",
+            f"  gate: {'ok' if self.ok else 'MISSED'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_ingest_bench(
+    *,
+    batches: int = 12,
+    rows: int = 24,
+    drain_every: int = 4,
+    interval_s: float = 5.0,
+    probes_per_batch: int = 4,
+    warm_files: int = 4,
+    max_lag_s: float = 45.0,
+    seed: int = 11,
+) -> IngestBenchResult:
+    """Interleave ingest batches, fresh probes, and periodic drains.
+
+    The lake is pre-seeded with ``warm_files`` indexed files so the
+    lazy tier is realistic (probes plan an index, not an empty table).
+    Each batch is immediately probed for ``probes_per_batch`` of its
+    own keys — the freshness invariant measured as recall — and after
+    the final drain the same keys are probed again via the lake.
+    """
+    result = IngestBenchResult(
+        batches=batches,
+        rows=rows,
+        drain_every=max(1, drain_every),
+        interval_s=interval_s,
+        max_lag_s=max_lag_s,
+    )
+    clock = SimClock(start=1_000_000.0)
+    store = InMemoryObjectStore(clock=clock)
+    lake = LakeTable.create(
+        store,
+        LAKE_ROOT,
+        SCHEMA,
+        TableConfig(row_group_rows=64, page_target_bytes=4096),
+    )
+    gen = UuidWorkload(seed=seed)
+    for _ in range(warm_files):
+        lake.append({"uuid": gen.batch(rows)})
+    client = RottnestClient(store, INDEX_DIR, lake)
+    if warm_files:
+        client.index("uuid", "uuid_trie")
+    tier = IngestTier(store, INGEST_ROOT, lake)
+    client.fresh_tier = tier
+
+    hub = TelemetryHub()
+    result.hub = hub
+    probe_keys: list[bytes] = []
+    fresh_ms: list[float] = []
+    with use_hub(hub):
+        with MaintenancePipeline(client, workers=2) as pipeline:
+            drainer = IngestDrainer(
+                tier, pipeline=pipeline, index_specs=[("uuid", "uuid_trie", {})]
+            )
+            for batch_no in range(batches):
+                batch = gen.batch(rows)
+                tier.ingest({"uuid": batch})
+                result.ingested_rows += rows
+                clock.advance(interval_s)
+                for key in batch[: max(0, probes_per_batch)]:
+                    res = client.search("uuid", UuidQuery(key), k=4)
+                    result.fresh_probes += 1
+                    result.fresh_hits += int(
+                        any(bytes(m.value) == key for m in res.matches)
+                    )
+                    fresh_ms.append(res.stats.estimated_latency() * 1000)
+                probe_keys.extend(batch[: max(0, probes_per_batch)])
+                if (batch_no + 1) % result.drain_every == 0:
+                    report = drainer.drain()
+                    result.drains += 1
+                    result.drained_rows += report.rows
+            report = drainer.drain()  # final flush of any ragged tail
+            if not report.empty:
+                result.drains += 1
+                result.drained_rows += report.rows
+
+        lazy_ms: list[float] = []
+        for key in probe_keys:
+            res = client.search("uuid", UuidQuery(key), k=4)
+            result.lazy_probes += 1
+            result.lazy_hits += int(
+                any(bytes(m.value) == key for m in res.matches)
+            )
+            lazy_ms.append(res.stats.estimated_latency() * 1000)
+
+    result.fresh_p50_ms = percentile(fresh_ms, 0.5)
+    result.fresh_p99_ms = percentile(fresh_ms, 0.99)
+    result.lazy_p50_ms = percentile(lazy_ms, 0.5)
+    result.lazy_p99_ms = percentile(lazy_ms, 0.99)
+    lag = hub.quantiles("ingest.freshness_lag_s").merged()
+    result.lag_count = lag.count
+    if lag.count:
+        result.lag_p50_s = lag.quantile(0.5)
+        result.lag_p99_s = lag.quantile(0.99)
+    return result

@@ -1,0 +1,135 @@
+"""In-memory search structures over one WAL segment's rows.
+
+Per-workload structures mirror the lazy tier's index types at memtable
+scale: a bounded-depth suffix trie for substring search, an inverted
+map for exact/UUID lookups, and a flat float32 buffer for brute-force
+vector scoring. Every candidate is verified against the query predicate
+(``matches`` / ``distance``) before it is returned, so the structures
+only ever prune — they can't produce false positives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.client import SearchMatch
+from repro.core.queries import Query, SubstringQuery, UuidQuery
+from repro.formats.schema import ColumnType, Schema
+
+#: Suffix-trie depth: longer needles fall back to verified candidates.
+TRIE_DEPTH = 8
+
+
+class _SuffixTrie:
+    """Bounded-depth suffix trie; nodes hold row-id sets.
+
+    A row sits at every node on the path of every suffix (truncated to
+    :data:`TRIE_DEPTH`), so the rows at the node reached by walking
+    ``needle[:TRIE_DEPTH]`` are exactly the rows whose value contains
+    that prefix of the needle — a superset of the true matches that the
+    caller then verifies with ``needle in value``.
+    """
+
+    def __init__(self) -> None:
+        self._root: dict = {}
+
+    def insert(self, row: int, value: str) -> None:
+        for start in range(len(value)):
+            node = self._root
+            for ch in value[start : start + TRIE_DEPTH]:
+                node = node.setdefault(ch, {})
+                node.setdefault(None, set()).add(row)
+
+    def candidates(self, needle: str) -> set[int]:
+        if not needle:
+            return set()
+        node = self._root
+        for ch in needle[:TRIE_DEPTH]:
+            if ch not in node:
+                return set()
+            node = node[ch]
+        return node.get(None, set())
+
+
+class Memtable:
+    """Searchable image of one WAL segment (one ingest batch)."""
+
+    def __init__(self, seq: int, wal_key: str, schema: Schema) -> None:
+        self.seq = seq
+        self.wal_key = wal_key
+        self.schema = schema
+        self.columns: dict[str, list] = {name: [] for name in schema.names}
+        self.num_rows = 0
+        self._tries: dict[str, _SuffixTrie] = {}
+        self._inverted: dict[str, dict[bytes, list[int]]] = {}
+        self._vectors: dict[str, np.ndarray | None] = {}
+        for f in schema.fields:
+            if f.type is ColumnType.STRING:
+                self._tries[f.name] = _SuffixTrie()
+            elif f.type is ColumnType.BINARY:
+                self._inverted[f.name] = {}
+            elif f.type is ColumnType.VECTOR:
+                self._vectors[f.name] = None
+
+    def insert(self, columns: dict[str, list]) -> int:
+        """Index one canonical batch; returns rows inserted."""
+        n = len(next(iter(columns.values()), []))
+        base = self.num_rows
+        for f in self.schema.fields:
+            values = columns[f.name]
+            self.columns[f.name].extend(values)
+            if f.type is ColumnType.STRING:
+                trie = self._tries[f.name]
+                for i, value in enumerate(values):
+                    trie.insert(base + i, value)
+            elif f.type is ColumnType.BINARY:
+                inv = self._inverted[f.name]
+                for i, value in enumerate(values):
+                    inv.setdefault(bytes(value), []).append(base + i)
+            elif f.type is ColumnType.VECTOR:
+                block = np.asarray(values, dtype=np.float32)
+                prior = self._vectors[f.name]
+                self._vectors[f.name] = (
+                    block if prior is None else np.vstack([prior, block])
+                )
+        self.num_rows += n
+        return n
+
+    # -- search --------------------------------------------------------
+    def search(self, column: str, query: Query) -> list[SearchMatch]:
+        """All verified matches in this memtable (unbounded; the tier
+        applies ``k``). Scoring queries return every row scored."""
+        values = self.columns[column]
+        if query.scoring:
+            scores = self._scores(column, query)
+            return [
+                SearchMatch(
+                    file=self.wal_key,
+                    row=row,
+                    value=values[row],
+                    score=scores[row],
+                )
+                for row in range(self.num_rows)
+            ]
+        rows = self._candidate_rows(column, query)
+        return [
+            SearchMatch(file=self.wal_key, row=row, value=values[row])
+            for row in rows
+            if query.matches(values[row])
+        ]
+
+    def _scores(self, column: str, query: Query) -> list[float]:
+        buffer = self._vectors.get(column)
+        if buffer is not None:
+            # Flat brute-force pass over the float32 buffer, scored with
+            # the query's own distance so fresh and lazy tiers agree to
+            # the last bit (merge order must not depend on the tier).
+            return [query.distance(buffer[row]) for row in range(len(buffer))]
+        return [query.distance(v) for v in self.columns[column]]
+
+    def _candidate_rows(self, column: str, query: Query) -> list[int]:
+        if isinstance(query, UuidQuery) and column in self._inverted:
+            return list(self._inverted[column].get(bytes(query.key), []))
+        if isinstance(query, SubstringQuery) and column in self._tries:
+            return sorted(self._tries[column].candidates(query.needle))
+        return list(range(self.num_rows))

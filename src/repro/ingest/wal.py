@@ -1,0 +1,169 @@
+"""Segmented, checksummed write-ahead log on object storage.
+
+One ``ingest()`` batch becomes one immutable segment object at
+``<root>/wal/<seq>.seg`` — object PUTs are atomic, so there is no
+partial-append window to reason about. Each segment carries a CRC32
+over its JSON payload; replay rejects corrupt frames with
+:class:`~repro.errors.WalCorruption`.
+
+Values are stored in a *canonical* JSON representation (bytes as hex,
+vectors as float32-exact lists) and :meth:`WriteAheadLog.append`
+returns the canonically *decoded* columns. The memtable inserts those —
+on the live path and on replay — so the Parquet file a drain flushes is
+byte-identical no matter how many crashes interleaved.
+
+The log runs through the ordinary :class:`~repro.storage.ObjectStore`
+interface, which is the point: ``FaultRule`` / ``crash_after`` and the
+chaos crash matrix apply to ingest for free.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import numpy as np
+
+from repro.errors import IngestError, WalCorruption
+from repro.formats.schema import ColumnType, Schema
+from repro.storage.object_store import ObjectStore
+
+WAL_DIR = "wal"
+SEQ_DIGITS = 20
+_MAGIC = b"WAL1"
+
+
+def encode_columns(schema: Schema, columns: dict[str, list]) -> dict:
+    """Canonical JSON form of a batch (bytes -> hex, vectors -> lists)."""
+    out: dict[str, list] = {}
+    n = None
+    for f in schema.fields:
+        try:
+            values = columns[f.name]
+        except KeyError:
+            raise IngestError(f"batch is missing column {f.name!r}") from None
+        if n is None:
+            n = len(values)
+        elif len(values) != n:
+            raise IngestError(
+                f"ragged batch: column {f.name!r} has {len(values)} rows, "
+                f"expected {n}"
+            )
+        if f.type is ColumnType.BINARY:
+            out[f.name] = [bytes(v).hex() for v in values]
+        elif f.type is ColumnType.VECTOR:
+            out[f.name] = [
+                np.asarray(v, dtype=np.float32).tolist() for v in values
+            ]
+        elif f.type is ColumnType.STRING:
+            out[f.name] = [str(v) for v in values]
+        elif f.type is ColumnType.INT64:
+            out[f.name] = [int(v) for v in values]
+        else:  # FLOAT64
+            out[f.name] = [float(v) for v in values]
+    if n is None:
+        raise IngestError("schema has no columns")
+    return out
+
+
+def decode_columns(schema: Schema, payload: dict) -> dict[str, list]:
+    """Inverse of :func:`encode_columns`; float32 round-trips exactly."""
+    out: dict[str, list] = {}
+    for f in schema.fields:
+        values = payload[f.name]
+        if f.type is ColumnType.BINARY:
+            out[f.name] = [bytes.fromhex(v) for v in values]
+        elif f.type is ColumnType.VECTOR:
+            out[f.name] = [np.array(v, dtype=np.float32) for v in values]
+        else:
+            out[f.name] = list(values)
+    return out
+
+
+class WriteAheadLog:
+    """One ingest directory's segment log plus its seal markers."""
+
+    def __init__(self, store: ObjectStore, root: str, schema: Schema) -> None:
+        self.store = store
+        self.root = root.rstrip("/")
+        self.schema = schema
+
+    # -- keys ----------------------------------------------------------
+    @property
+    def prefix(self) -> str:
+        return f"{self.root}/{WAL_DIR}/"
+
+    def segment_key(self, seq: int) -> str:
+        return f"{self.prefix}{seq:0{SEQ_DIGITS}d}.seg"
+
+    def seal_key(self, seq: int) -> str:
+        return f"{self.prefix}{seq:0{SEQ_DIGITS}d}.seal"
+
+    # -- write path ----------------------------------------------------
+    def append(self, seq: int, columns: dict[str, list]) -> dict[str, list]:
+        """Durably PUT one segment; returns the canonical decoded batch.
+
+        The returned columns — not the caller's originals — are what the
+        memtable must index, so live inserts and replayed inserts are
+        bit-for-bit the same.
+        """
+        payload = encode_columns(self.schema, columns)
+        body = json.dumps(
+            {"seq": seq, "columns": payload}, indent=None, sort_keys=True
+        ).encode("utf-8")
+        frame = _MAGIC + zlib.crc32(body).to_bytes(4, "big") + body
+        self.store.put(self.segment_key(seq), frame)
+        return decode_columns(self.schema, payload)
+
+    def seal(self, seq: int) -> None:
+        """PUT the seal marker: the drainer owns this segment now."""
+        self.store.put(self.seal_key(seq), b"sealed")
+
+    def truncate(self, seq: int) -> None:
+        """Delete one drained segment (and its seal marker, free)."""
+        self.store.delete(self.segment_key(seq))
+        self.store.delete(self.seal_key(seq))
+
+    # -- read path -----------------------------------------------------
+    def read(self, seq: int) -> dict[str, list]:
+        """Replay one segment into canonical columns."""
+        frame = self.store.get(self.segment_key(seq))
+        if len(frame) < 8 or frame[:4] != _MAGIC:
+            raise WalCorruption(
+                f"segment {self.segment_key(seq)!r} has a bad header"
+            )
+        want = int.from_bytes(frame[4:8], "big")
+        body = frame[8:]
+        if zlib.crc32(body) != want:
+            raise WalCorruption(
+                f"segment {self.segment_key(seq)!r} failed its CRC32 check"
+            )
+        obj = json.loads(body.decode("utf-8"))
+        if obj.get("seq") != seq:
+            raise WalCorruption(
+                f"segment {self.segment_key(seq)!r} claims seq {obj.get('seq')!r}"
+            )
+        return decode_columns(self.schema, obj["columns"])
+
+    def segments(self) -> list[int]:
+        """Sequence numbers of all durable segments, ascending."""
+        out = []
+        for info in self.store.list(self.prefix):
+            name = info.key.rsplit("/", 1)[1]
+            if name.endswith(".seg"):
+                out.append(int(name.split(".")[0]))
+        return out
+
+    def sealed(self) -> set[int]:
+        """Sequence numbers with a durable seal marker."""
+        out = set()
+        for info in self.store.list(self.prefix):
+            name = info.key.rsplit("/", 1)[1]
+            if name.endswith(".seal"):
+                out.add(int(name.split(".")[0]))
+        return out
+
+    def ingested_at(self, seq: int) -> float:
+        """Store-clock time the segment became durable (its PUT mtime);
+        the drain's freshness-lag sample is measured from here."""
+        return self.store.head(self.segment_key(seq)).mtime

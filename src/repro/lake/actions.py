@@ -76,7 +76,29 @@ class SetDeletionVector:
         }
 
 
-Action = SetSchema | AddFile | RemoveFile | SetDeletionVector
+@dataclass(frozen=True)
+class SetTransaction:
+    """Record an application's high-water mark in the same commit as its
+    data actions (Delta Lake's ``txn`` action).
+
+    The ingest drainer commits ``[AddFile, SetTransaction]`` atomically:
+    the snapshot then answers "which WAL segments are already in the
+    lake?" exactly, so a crash between the lake commit and the WAL
+    truncation can neither drop nor double-count rows.
+    """
+
+    app_id: str
+    version: int
+
+    def to_json(self) -> dict:
+        return {
+            "action": "set_transaction",
+            "app_id": self.app_id,
+            "version": self.version,
+        }
+
+
+Action = SetSchema | AddFile | RemoveFile | SetDeletionVector | SetTransaction
 
 
 def actions_to_bytes(actions: list[Action]) -> bytes:
@@ -110,6 +132,10 @@ def actions_from_bytes(data: bytes) -> list[Action]:
         elif kind == "set_deletion_vector":
             actions.append(
                 SetDeletionVector(data_path=obj["data_path"], dv_path=obj["dv_path"])
+            )
+        elif kind == "set_transaction":
+            actions.append(
+                SetTransaction(app_id=obj["app_id"], version=obj["version"])
             )
         else:
             raise LakeError(f"unknown log action {kind!r}")

@@ -7,7 +7,7 @@ list* of live Parquet files plus any attached deletion vectors (paper
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import LakeError
 from repro.formats.schema import Schema
@@ -17,6 +17,7 @@ from repro.lake.actions import (
     RemoveFile,
     SetDeletionVector,
     SetSchema,
+    SetTransaction,
 )
 
 
@@ -35,6 +36,10 @@ class Snapshot:
     schema: Schema
     files: tuple[FileEntry, ...]
     deletion_vectors: dict[str, str]  # data path -> dv object key
+    app_versions: dict[str, int] = field(default_factory=dict)
+    """Per-application transaction high-water marks (``SetTransaction``
+    folded with max semantics). The ingest tier reads its own entry to
+    decide which WAL segments are already represented in the lake."""
 
     def to_json(self) -> dict:
         """Checkpoint serialization (see TransactionLog checkpoints)."""
@@ -49,6 +54,7 @@ class Snapshot:
                 for f in self.files
             ],
             "deletion_vectors": dict(self.deletion_vectors),
+            "app_versions": dict(self.app_versions),
         }
 
     @classmethod
@@ -71,6 +77,8 @@ class Snapshot:
                 for f in obj["files"]
             ),
             deletion_vectors=dict(obj["deletion_vectors"]),
+            # Pre-ingest checkpoints have no app_versions entry.
+            app_versions=dict(obj.get("app_versions", {})),
         )
 
     @property
@@ -110,10 +118,12 @@ def replay(
     schema: Schema | None = None
     files: dict[str, FileEntry] = {}
     dvs: dict[str, str] = {}
+    app_versions: dict[str, int] = {}
     if base is not None:
         schema = base.schema
         files = {f.path: f for f in base.files}
         dvs = dict(base.deletion_vectors)
+        app_versions = dict(base.app_versions)
     for actions in log_versions:
         for action in actions:
             if isinstance(action, SetSchema):
@@ -131,6 +141,9 @@ def replay(
                     raise LakeError(f"removing unknown file {action.path!r}")
                 del files[action.path]
                 dvs.pop(action.path, None)
+            elif isinstance(action, SetTransaction):
+                current = app_versions.get(action.app_id, action.version)
+                app_versions[action.app_id] = max(current, action.version)
             elif isinstance(action, SetDeletionVector):
                 if action.data_path not in files:
                     raise LakeError(
@@ -146,5 +159,9 @@ def replay(
         raise LakeError("log has no schema (table never created?)")
     ordered = tuple(files[p] for p in sorted(files))
     return Snapshot(
-        version=version, schema=schema, files=ordered, deletion_vectors=dict(dvs)
+        version=version,
+        schema=schema,
+        files=ordered,
+        deletion_vectors=dict(dvs),
+        app_versions=app_versions,
     )

@@ -33,6 +33,7 @@ from repro.lake.actions import (
     RemoveFile,
     SetDeletionVector,
     SetSchema,
+    SetTransaction,
 )
 from repro.lake.deletion import DeletionVector
 from repro.lake.log import TransactionLog
@@ -175,6 +176,54 @@ class LakeTable:
             raise LakeError(f"invalid partition value {partition!r}")
         add = self._write_data_file(columns, partition)
         version = self.log.commit([add])
+        self._maybe_checkpoint(version)
+        return version
+
+    def write_data_at(self, key: str, columns: dict[str, list]) -> AddFile:
+        """Write ``columns`` as one Parquet file at a caller-chosen key.
+
+        Unlike :meth:`append`'s salted names, the key is fully under the
+        caller's control, so a crashed-and-retried writer that derives
+        the key deterministically from its input re-creates the same
+        object with the same bytes (idempotent PUT). Returns the
+        :class:`AddFile` action; nothing is committed.
+        """
+        if not key.startswith(f"{self.root}/{DATA_DIR}/"):
+            raise LakeError(
+                f"data key {key!r} must live under {self.root}/{DATA_DIR}/"
+            )
+        result = write_parquet(
+            self.schema,
+            columns,
+            codec=self.config.codec,
+            row_group_rows=self.config.row_group_rows,
+            page_target_bytes=self.config.page_target_bytes,
+        )
+        self.store.put(key, result.data)
+        return AddFile(path=key, num_rows=result.num_rows, size=len(result.data))
+
+    def commit_transactional(
+        self, actions: list[Action], *, app_id: str, app_version: int
+    ) -> int | None:
+        """Atomically commit ``actions`` together with a
+        :class:`SetTransaction` high-water mark for ``app_id``.
+
+        If the snapshot already records ``app_version`` (or newer) for
+        ``app_id``, the commit is skipped and ``None`` is returned —
+        this makes a crashed-and-retried drain step exactly-once: the
+        data actions and the marker land in one log entry or not at
+        all. Assumes one writer per ``app_id`` (the ingest drainer).
+        """
+        if self.snapshot().app_versions.get(app_id, -1) >= app_version:
+            # Already committed (crashed-and-retried caller). A crash
+            # may have landed between that commit and its due
+            # checkpoint; writing it now keeps every crash history
+            # converging on the same bytes. No-op when not due.
+            self._maybe_checkpoint(self.log.latest_version())
+            return None
+        version = self.log.commit(
+            [*actions, SetTransaction(app_id=app_id, version=app_version)]
+        )
         self._maybe_checkpoint(version)
         return version
 

@@ -616,6 +616,65 @@ def _router_section(hub: TelemetryHub) -> str:
     )
 
 
+def _ingest_section(hub: TelemetryHub) -> str:
+    """Real-time ingest panel: freshness lag sketch + drain counters.
+
+    Rendered only when the hub holds ``ingest.*`` telemetry (a drainer
+    or a fresh-tier server reported here); lake-only deployments skip
+    the section entirely rather than show an empty box.
+    """
+    lag = hub.quantiles("ingest.freshness_lag_s")
+    merged = lag.merged()
+    drains = hub.series("ingest.drains").count()
+    fresh_matches = hub.series("ingest.fresh_matches").total()
+    if not merged.count and not drains and not fresh_matches:
+        return ""
+    tiles = [
+        ("drains", f"{drains}"),
+        ("rows drained", f"{hub.series('ingest.drained_rows').total():.0f}"),
+        ("fresh matches served", f"{fresh_matches:.0f}"),
+        (
+            "freshness lag p50",
+            f"{merged.quantile(0.5):.1f} s" if merged.count else "—",
+        ),
+        (
+            "freshness lag p99",
+            f"{merged.quantile(0.99):.1f} s" if merged.count else "—",
+        ),
+    ]
+    tile_html = "".join(
+        f"<div class='tile'><div class='value'>{_esc(value)}</div>"
+        f"<div class='label'>{_esc(label)}</div></div>"
+        for label, value in tiles
+    )
+    windows = lag.windows()
+    if windows:
+        first = windows[0][0]
+        minutes = [(i - first) * lag.window_s / 60.0 for i, _ in windows]
+        p50 = [
+            (m, sketch.quantile(0.5))
+            for m, (_, sketch) in zip(minutes, windows)
+        ]
+        p99 = [
+            (m, sketch.quantile(0.99))
+            for m, (_, sketch) in zip(minutes, windows)
+        ]
+        chart = _line_chart(
+            [("p50", "--series-1", p50), ("p99", "--series-2", p99)],
+            y_label="freshness lag (s)",
+            x_label="minutes since start",
+        ) + _legend([("p50", "--series-1"), ("p99", "--series-2")])
+    else:
+        chart = "<p class='muted'>no drained segments yet</p>"
+    return (
+        "<section><h2>Real-time ingest freshness</h2>"
+        f"<div class='tiles'>{tile_html}</div>"
+        f"{chart}"
+        "<p class='muted'>lag = lake commit time &minus; WAL segment PUT "
+        "time, observed by the drainer per drained segment</p></section>"
+    )
+
+
 def _slo_section(report: SLOReport) -> str:
     rows = []
     for status in report.statuses:
@@ -689,6 +748,7 @@ def render_dashboard(
             _slo_section(slo_report),
             _latency_section(hub),
             _router_section(hub),
+            _ingest_section(hub),
             _rate_section(hub),
             _tail_section(tail_report),
             _tco_section(hub, costs),

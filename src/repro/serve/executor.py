@@ -147,15 +147,44 @@ class SearchExecutor:
 
             stats = SearchStats(trace=plan_trace)
             stats.index_files_queried = len(chosen)
+
+            # Fresh-tier probe on the calling thread: memtables are
+            # in-memory, so there is nothing to fan out. Same merge
+            # contract as the sequential client — fresh rows count
+            # toward K for exact queries, scored rows join the global
+            # sort for top-k queries. Scoped queries stay lazy-only.
+            fresh: list[SearchMatch] = []
+            if (
+                client.fresh_tier is not None
+                and partition is None
+                and file_predicate is None
+            ):
+                with tracer.span("probe:fresh", phase="fresh") as fresh_span:
+                    fresh = client.fresh_tier.search_fresh(
+                        column, query, k=k, snapshot=snap
+                    )
+                    fresh_span.set("matches", len(fresh))
+
             if query.scoring:
-                matches = self._scoring(
+                lazy = self._scoring(
                     column, query, k, snap, snap_paths, chosen, uncovered, stats
                 )
+                matches = sorted(fresh + lazy, key=lambda m: m.score)[:k]
+            elif len(fresh) >= k:
+                matches = fresh[:k]
             else:
-                matches = self._exact(
-                    column, query, k, snap, snap_paths, chosen, uncovered, stats
+                matches = fresh + self._exact(
+                    column,
+                    query,
+                    k - len(fresh),
+                    snap,
+                    snap_paths,
+                    chosen,
+                    uncovered,
+                    stats,
                 )
             root.set("matches", len(matches))
+            root.set("fresh_matches", len(fresh))
             root.set("index_files_queried", stats.index_files_queried)
             root.set("pages_probed", stats.pages_probed)
             root.set("files_brute_forced", stats.files_brute_forced)

@@ -88,6 +88,7 @@ class ServeStats:
     rejected: int = 0  # shed by admission control
     deduplicated: int = 0  # served by another query's flight
     degraded: int = 0  # answered via brute-force fallback
+    fresh_matches: int = 0  # matches served from the ingest fresh tier
     total_requests: int = 0  # object-store requests across all queries
     latency_sketch: QuantileSketch = field(default_factory=QuantileSketch)
     first_latency_s: float | None = None  # the cold query
@@ -367,23 +368,35 @@ class SearchServer:
 
             result, shared = self._flights.do_detailed(flight_key, execute)
             modeled_s = result.stats.estimated_latency(self.latency_model)
+            fresh_matches = self._count_fresh(result)
             with self._stats_lock:
                 self.stats.queries += 1
                 if shared:
                     self.stats.deduplicated += 1
                 self.stats.total_requests += result.stats.trace.total_requests
                 self.stats.observe_latency(modeled_s)
+                self.stats.fresh_matches += fresh_matches
             _QUERIES.inc(status="deduplicated" if shared else "served")
             _LATENCY.observe(modeled_s)
             self._record_telemetry(
                 modeled_s,
                 root=None if shared else flight["root"],
                 degraded=flight["degraded"] and not shared,
+                fresh_matches=fresh_matches,
             )
             return result
         finally:
             _INFLIGHT.add(-1)
             self._admission.release()
+
+    def _count_fresh(self, result: SearchResult) -> int:
+        """Matches served from the ingest fresh tier (WAL-backed
+        memtables), recognized by their WAL-segment file identity."""
+        tier = getattr(self.client, "fresh_tier", None)
+        if tier is None:
+            return 0
+        prefix = tier.wal.prefix
+        return sum(1 for m in result.matches if m.file.startswith(prefix))
 
     def _record_telemetry(
         self,
@@ -391,6 +404,7 @@ class SearchServer:
         *,
         root,
         degraded: bool,
+        fresh_matches: int = 0,
     ) -> None:
         """Feed the per-query outcome into the process telemetry hub.
 
@@ -404,6 +418,10 @@ class SearchServer:
         at_s = self.client.store.clock.now()
         hub.quantiles("serve.latency_s").observe(modeled_s, at_s=at_s)
         hub.series("serve.queries").observe(1.0, at_s=at_s)
+        if fresh_matches:
+            hub.series("ingest.fresh_matches").observe(
+                float(fresh_matches), at_s=at_s
+            )
         if degraded:
             hub.series("serve.degraded").observe(1.0, at_s=at_s)
         if root is None or root.end_s is None:

@@ -198,6 +198,7 @@ class QueryRouter:
         on_shard_failure: str = "error",
         cost_model: CostModel | None = None,
         budget: IOBudget | None = None,
+        fresh_tier=None,
     ) -> None:
         if on_shard_failure not in ("error", "partial"):
             raise ShardError(
@@ -206,6 +207,13 @@ class QueryRouter:
             )
         self.deployment = deployment
         self.hedge = hedge
+        #: Optional :class:`repro.ingest.IngestTier` over the *source*
+        #: lake. Shards are materialized from committed lake data, so
+        #: acked-but-undrained rows exist on no shard; the router
+        #: merges the tier's fresh view as one more sorted run so the
+        #: sharded path honors the same freshness contract as a single
+        #: server.
+        self.fresh_tier = fresh_tier
         self.prune = prune
         self.on_shard_failure = on_shard_failure
         self.cost_model = cost_model or CostModel()
@@ -269,6 +277,15 @@ class QueryRouter:
 
         answered = [o for o in outcomes if not o.failed]
         per_shard = [o.matches for o in answered]
+        if self.fresh_tier is not None and partition is None:
+            # The fresh tier is one more sorted run in the global
+            # merge: an in-memory probe of the undrained WAL segments,
+            # identified by WAL-segment keys so it can never collide
+            # with a shard's (file, row) identities.
+            with get_tracer().span("router.fresh", column=column):
+                per_shard.append(
+                    self.fresh_tier.search_fresh(column, query, k=k)
+                )
         if query.scoring:
             matches = merge_topk(per_shard, k)
         else:

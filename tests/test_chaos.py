@@ -81,7 +81,9 @@ class TestCrashPoints:
         """docs/protocol.md and CRASH_POINTS must name the same points."""
         text = (REPO_ROOT / "docs" / "protocol.md").read_text()
         documented = set(
-            re.findall(r"`((?:index|compact|vacuum):[a-z-]+)`", text)
+            re.findall(
+                r"`((?:index|compact|vacuum|ingest|drain):[a-z-]+)`", text
+            )
         )
         assert documented == set(CRASH_POINTS)
 

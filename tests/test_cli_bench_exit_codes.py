@@ -1,0 +1,93 @@
+"""Exit-code contract of the bench subcommands.
+
+Every modeled in-memory benchmark the CLI exposes follows one
+convention: ``0`` when its acceptance gate holds, ``2`` on a gate
+miss, ``3`` when there is nothing to benchmark (empty input), and
+``1`` for any :class:`~repro.errors.ReproError`. These tests pin the
+convention — it drifted once (maintain-bench and shard-bench shipped
+without the empty-input exit) and the gate scripts in CI dispatch on
+the code, so a silent change breaks the pipeline, not just the docs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestIngestBenchExitCodes:
+    def test_gate_pass_is_zero(self, capsys):
+        assert main(["ingest-bench", "--batches", "4", "--rows", "8"]) == 0
+        assert "gate: ok" in capsys.readouterr().out
+
+    def test_gate_miss_is_two(self, capsys):
+        code = main(
+            [
+                "ingest-bench",
+                "--batches", "4",
+                "--rows", "8",
+                "--max-lag-s", "0.001",
+            ]
+        )
+        assert code == 2
+        assert "MISSED" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["ingest-bench", "--batches", "0"],
+            ["ingest-bench", "--rows", "0"],
+        ],
+    )
+    def test_empty_input_is_three(self, argv, capsys):
+        assert main(argv) == 3
+        assert "empty input" in capsys.readouterr().err
+
+
+class TestMaintainBenchExitCodes:
+    def test_gate_miss_is_two(self, capsys):
+        # A single-worker sweep can never clear the 2x speedup gate.
+        code = main(
+            ["maintain-bench", "--files", "4", "--rows", "8", "--workers", "1"]
+        )
+        assert code == 2
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["maintain-bench", "--files", "0"],
+            ["maintain-bench", "--rows", "0"],
+        ],
+    )
+    def test_empty_input_is_three(self, argv, capsys):
+        assert main(argv) == 3
+        assert "empty input" in capsys.readouterr().err
+
+
+class TestShardBenchExitCodes:
+    def test_gate_miss_is_two(self, capsys):
+        # A single-shard deployment cannot show the 4-shard flat-p50
+        # shape the gate requires.
+        code = main(
+            [
+                "shard-bench",
+                "--files", "2",
+                "--rows", "16",
+                "--shards", "1",
+                "--queries", "4",
+            ]
+        )
+        assert code == 2
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["shard-bench", "--files", "0"],
+            ["shard-bench", "--rows", "0"],
+            ["shard-bench", "--queries", "0"],
+        ],
+    )
+    def test_empty_input_is_three(self, argv, capsys):
+        assert main(argv) == 3
+        assert "empty input" in capsys.readouterr().err

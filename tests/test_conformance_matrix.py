@@ -244,6 +244,106 @@ def test_sharded_router_matches_single_server_oracle(workload, state, n_shards):
                     assert routed.shards_pruned == n_shards - 1
 
 
+# -- fresh-tier axis: ingest states x workloads ------------------------
+#: Ingested batches use seeds far from the appended files' so the two
+#: populations never collide on values.
+FRESH_SEEDS = (101, 102, 103, 104)
+
+#: State name -> (seeds ingested before a drain, seeds ingested after).
+#: "half_drained" therefore serves rows from both tiers at once.
+FRESH_STATES = {
+    "fresh_empty": ((), ()),
+    "fresh_wal_only": ((), FRESH_SEEDS[:2]),
+    "fresh_half_drained": (FRESH_SEEDS[:2], FRESH_SEEDS[2:]),
+    "fresh_fully_drained": (FRESH_SEEDS[:2], ()),
+}
+
+
+@pytest.mark.parametrize("fresh_state", sorted(FRESH_STATES))
+@pytest.mark.parametrize("workload", WORKLOADS, ids=[w.name for w in WORKLOADS])
+def test_fresh_tier_matches_union_oracle(workload, fresh_state):
+    """The fresh-tier axis: for every workload and every ingest state
+    (nothing ingested, WAL-only, half-drained, fully drained), a search
+    through the fresh/lazy merge equals a brute-force oracle over the
+    *union* of both tiers — materialized as a plain lake holding every
+    appended and every ingested row. File identities differ between the
+    deployments (the oracle knows nothing of WALs), so the comparison
+    canonicalizes on values and scores, exactly like the sharded column.
+    """
+    from repro.ingest import IngestDrainer, IngestTier
+
+    drained_seeds, wal_seeds = FRESH_STATES[fresh_state]
+    store, lake, client = _fresh(workload)
+    with MaintenancePipeline(client, workers=2) as pipe:
+        for i in range(workload.files - 1):
+            lake.append(event_batch(workload.rows, seed=i + 1))
+        _index(pipe, workload)
+        tier = IngestTier(store, "ingest/events", lake)
+        client.fresh_tier = tier
+        drainer = IngestDrainer(
+            tier,
+            pipeline=pipe,
+            index_specs=[(workload.column, workload.index_type, workload.params)],
+        )
+        for seed in drained_seeds:
+            tier.ingest(event_batch(workload.rows, seed=seed))
+        if drained_seeds:
+            drainer.drain()
+        for seed in wal_seeds:
+            tier.ingest(event_batch(workload.rows, seed=seed))
+
+    # The union oracle: one flat lake holding every row of both tiers,
+    # searched brute-force by a client with no fresh tier and no index.
+    oracle_store = InMemoryObjectStore(clock=SimClock(start=1_000_000.0))
+    oracle_lake = LakeTable.create(
+        oracle_store,
+        "lake/oracle",
+        EVENT_SCHEMA,
+        TableConfig(row_group_rows=64, page_target_bytes=4096),
+    )
+    for i in range(workload.files - 1):
+        oracle_lake.append(event_batch(workload.rows, seed=i + 1))
+    for seed in (*drained_seeds, *wal_seeds):
+        oracle_lake.append(event_batch(workload.rows, seed=seed))
+    oracle = RottnestClient(oracle_store, "idx/oracle", oracle_lake)
+
+    queries = workload.queries(oracle_lake)  # sized to the union's rows
+    fresh_probe = None
+    if wal_seeds:
+        # One probe whose answer lives only in undrained memtables.
+        if workload.name == "uuids":
+            fresh_probe = (UuidQuery(event_uuid(wal_seeds[0], 3)), 100)
+        elif workload.name == "text":
+            doc = event_batch(workload.rows, seed=wal_seeds[0])["text"][1]
+            fresh_probe = (SubstringQuery(doc[:8]), 10_000)
+        if fresh_probe is not None:
+            queries = [*queries, fresh_probe]
+
+    with SearchExecutor(client, max_searchers=2) as ex:
+        for query, k in queries:
+            merged = ex.search(workload.column, query, k=k)
+            expected = oracle.search(
+                workload.column, query, k=k, use_indices=False
+            )
+            label = f"{workload.name}/{fresh_state}"
+            if query.scoring:
+                assert sorted(m.score for m in merged.matches) == (
+                    pytest.approx(sorted(m.score for m in expected.matches))
+                ), f"{label}: merged scores != union oracle for {query!r}"
+            else:
+                assert sorted(m.value for m in merged.matches) == sorted(
+                    m.value for m in expected.matches
+                ), f"{label}: merged != union oracle for {query!r}"
+        if fresh_probe is not None and not fresh_probe[0].scoring:
+            probe_result = ex.search(
+                workload.column, fresh_probe[0], k=fresh_probe[1]
+            )
+            assert any(
+                m.file.startswith(tier.wal.prefix)
+                for m in probe_result.matches
+            ), f"{workload.name}/{fresh_state}: probe never hit the fresh tier"
+
+
 @pytest.mark.parametrize("workload", WORKLOADS, ids=[w.name for w in WORKLOADS])
 def test_maintenance_states_commit_identically_at_any_width(workload):
     """Worker count is invisible in committed metadata: the covered

@@ -1,0 +1,251 @@
+"""Crash matrices for the ingest tier's write path and drain handoff.
+
+``tests/test_chaos.py`` pins the maintenance verbs (index, compact,
+vacuum); this module does the same for the two verbs the real-time
+tier added — ``ingest`` (one WAL-frame PUT: the atomic ack) and
+``drain`` (seal -> flush -> commit -> index -> truncate). The bar is
+byte-identical convergence: crash at ANY mutation boundary, re-run
+from a fresh client, and the store must hold exactly the bytes of the
+uninterrupted run (modulo metadata checkpoints; see the harness
+docstring for why those are excluded).
+
+A hypothesis property rides along: for a random number of pending
+batches and a crash after a random prefix of the drain's mutation
+sequence, the recovered system still answers the search oracle — every
+acked row lands in exactly one tier, none dropped, none duplicated.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import CRASH_POINTS, crash_matrix
+from repro.core.client import RottnestClient
+from repro.core.queries import UuidQuery
+from repro.errors import SimulatedCrash
+from repro.ingest import IngestDrainer, IngestTier
+from repro.lake.table import LakeTable, TableConfig
+from repro.maintain.pipeline import MaintenancePipeline
+from repro.obs.timeseries import TelemetryHub, use_hub
+from repro.storage.faults import FaultyObjectStore
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.clock import SimClock
+
+from tests.conftest import EVENT_SCHEMA, event_batch, event_uuid
+
+LAKE_ROOT = "lake/events"
+INGEST_ROOT = "ingest/events"
+INDEX_DIR = "idx/events"
+
+# Checkpoint on every lake commit so `drain:put-lake-checkpoint` is
+# part of every matrix, not a 1-in-10 accident (the meta interval gets
+# the same treatment in _make_client).
+LAKE_CONFIG = TableConfig(
+    row_group_rows=200, page_target_bytes=2048, checkpoint_interval=1
+)
+
+
+def _make_client(store) -> RottnestClient:
+    # Fixed key entropy: index keys must be deterministic for a
+    # crashed-then-recovered drain to be compared byte-for-byte
+    # against the uninterrupted reference (compare="bytes").
+    client = RottnestClient(
+        store,
+        INDEX_DIR,
+        LakeTable.open(store, LAKE_ROOT, LAKE_CONFIG),
+        key_entropy=lambda: b"\x00\x00\x00\x00",
+    )
+    client.meta.checkpoint_interval = 1
+    return client
+
+
+def _tier(client: RottnestClient) -> IngestTier:
+    return IngestTier(client.store, INGEST_ROOT, client.lake)
+
+
+def _base(pending_batches: int = 2, rows: int = 30):
+    """A warm indexed lake plus ``pending_batches`` undrained segments."""
+    clock = SimClock(start=1_000_000.0)
+    store = InMemoryObjectStore(clock=clock)
+    lake = LakeTable.create(store, LAKE_ROOT, EVENT_SCHEMA, LAKE_CONFIG)
+    lake.append(event_batch(60, seed=1))
+    _make_client(store).index("uuid", "uuid_trie")
+    tier = IngestTier(store, INGEST_ROOT, lake)
+    for j in range(pending_batches):
+        tier.ingest(event_batch(rows, seed=10 + j))
+    clock.advance(5.0)
+    return clock, store
+
+
+def _drain_plain(client: RottnestClient) -> None:
+    with use_hub(TelemetryHub()):
+        IngestDrainer(_tier(client)).drain()
+
+
+def _drain_indexed(client: RottnestClient) -> None:
+    with use_hub(TelemetryHub()):
+        with MaintenancePipeline(client, workers=1) as pipeline:
+            IngestDrainer(
+                _tier(client),
+                pipeline=pipeline,
+                index_specs=[("uuid", "uuid_trie", {})],
+            ).drain()
+
+
+# ---------------------------------------------------------------------
+# ingest: the write path's entire crash surface is one PUT
+# ---------------------------------------------------------------------
+class TestIngestCrashMatrix:
+    def test_single_mutation_is_the_atomic_ack(self):
+        clock, store = _base(pending_batches=1)
+        matrix = crash_matrix(
+            store,
+            _make_client,
+            "ingest",
+            lambda c: _tier(c).ingest(event_batch(25, seed=50)),
+            # Recovery for a lost ack is WAL replay, not a retry: the
+            # frame PUT either landed (rows durable) or it didn't (the
+            # writer was never acked); re-ingesting would duplicate.
+            recover=lambda c: _tier(c).recover(),
+            compare="bytes",
+        )
+        assert matrix.mutations == 1
+        assert matrix.all_recoverable, matrix.describe()
+        assert matrix.crash_points() == {"ingest:put-wal-frame"}
+
+    def test_crashed_ack_is_durable_and_searchable_after_replay(self):
+        """crash_after fires with the PUT already durable — so even an
+        ingest whose ack never reached the writer must surface its rows
+        from a rebuilt tier (no silent drop of acked-or-landed data)."""
+        clock, store = _base(pending_batches=0)
+        faulty = FaultyObjectStore(store)
+        faulty.crash_after("MUTATE", countdown=0)
+        doomed = IngestTier(
+            faulty, INGEST_ROOT, LakeTable.open(faulty, LAKE_ROOT, LAKE_CONFIG)
+        )
+        with pytest.raises(SimulatedCrash):
+            doomed.ingest(event_batch(25, seed=50))
+
+        client = _make_client(store)
+        client.fresh_tier = _tier(client)
+        hits = client.search("uuid", UuidQuery(event_uuid(50, 3)), k=10)
+        assert len(hits.matches) == 1
+        assert hits.matches[0].file.startswith(client.fresh_tier.wal.prefix)
+
+
+# ---------------------------------------------------------------------
+# drain: every handoff boundary, byte-identical after recovery
+# ---------------------------------------------------------------------
+class TestDrainCrashMatrix:
+    def test_plain_drain_every_crash_point_byte_identical(self):
+        clock, store = _base(pending_batches=2)
+        matrix = crash_matrix(
+            store, _make_client, "drain", _drain_plain, compare="bytes"
+        )
+        # 2 seals + data file + lake commit + lake checkpoint + 4
+        # truncation DELETEs (each segment drops a frame and a seal).
+        assert matrix.mutations >= 9
+        assert matrix.all_recoverable, matrix.describe()
+        assert matrix.crash_points() <= set(CRASH_POINTS)
+        assert {
+            "drain:put-seal-marker",
+            "drain:put-data-file",
+            "drain:put-lake-commit",
+            "drain:put-lake-checkpoint",
+            "drain:delete-wal-frame",
+        } <= matrix.crash_points()
+
+    def test_indexed_drain_every_crash_point_byte_identical(self):
+        clock, store = _base(pending_batches=2)
+        matrix = crash_matrix(
+            store, _make_client, "drain", _drain_indexed, compare="bytes"
+        )
+        assert matrix.all_recoverable, matrix.describe()
+        assert matrix.crash_points() <= set(CRASH_POINTS)
+        # The index stage reuses the maintenance protocol's boundaries,
+        # reclassified under the drain verb.
+        assert {
+            "drain:put-index-file",
+            "drain:put-meta-commit",
+            "drain:put-meta-checkpoint",
+        } <= matrix.crash_points()
+
+    def test_crash_between_commit_and_lake_checkpoint_converges(self):
+        """Regression: the retried drain after a crash-on-commit has
+        nothing left to flush (the floor already moved), so the empty
+        path must write the due lake checkpoint itself or the wreck
+        never converges on the reference bytes."""
+        from repro.chaos.harness import _logical_state
+
+        clock, store = _base(pending_batches=1)
+        reference = store.clone()
+        _drain_plain(_make_client(reference))
+
+        wreck = store.clone()
+        faulty = FaultyObjectStore(wreck)
+        faulty.crash_after("PUT", "/_log/")
+        with pytest.raises(SimulatedCrash):
+            _drain_plain(_make_client(faulty))
+        # The commit landed but the handoff is visibly incomplete.
+        assert _logical_state(wreck) != _logical_state(reference)
+        _drain_plain(_make_client(wreck))
+        assert _logical_state(wreck) == _logical_state(reference)
+
+
+# ---------------------------------------------------------------------
+# the prefix-crash property (hypothesis)
+# ---------------------------------------------------------------------
+class TestDrainPrefixCrashProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_any_prefix_crash_preserves_the_search_oracle(self, data):
+        """seal -> drain -> commit crashed after any mutation prefix,
+        then re-drained, answers the same oracle: every acked row in
+        exactly one tier, exactly once."""
+        batches = data.draw(st.integers(1, 3), label="batches")
+        rows = data.draw(st.integers(3, 10), label="rows")
+        clock = SimClock(start=1_000_000.0)
+        store = InMemoryObjectStore(clock=clock)
+        lake = LakeTable.create(store, LAKE_ROOT, EVENT_SCHEMA, LAKE_CONFIG)
+        lake.append(event_batch(20, seed=1))
+        _make_client(store).index("uuid", "uuid_trie")
+        tier = IngestTier(store, INGEST_ROOT, lake)
+        for j in range(batches):
+            tier.ingest(event_batch(rows, seed=10 + j))
+        clock.advance(5.0)
+
+        # The uninterrupted run defines the crash surface.
+        reference = store.clone()
+        before = reference.stats.snapshot()
+        _drain_indexed(_make_client(reference))
+        mutations = (lambda d: d.puts + d.deletes)(
+            reference.stats.snapshot().delta(before)
+        )
+        assert mutations > 0
+
+        n = data.draw(st.integers(0, mutations - 1), label="crash_after")
+        wreck = store.clone()
+        faulty = FaultyObjectStore(wreck)
+        faulty.crash_after("MUTATE", countdown=n)
+        with pytest.raises(SimulatedCrash):
+            _drain_indexed(_make_client(faulty))
+        # Recovery is the operation itself, fault-free.
+        _drain_indexed(_make_client(wreck))
+
+        client = _make_client(wreck)
+        client.fresh_tier = IngestTier(wreck, INGEST_ROOT, client.lake)
+        assert client.fresh_tier.pending_rows() == 0
+        # Row-count conservation: warm batch + every acked batch, once.
+        total = sum(f.num_rows for f in client.lake.snapshot().files)
+        assert total == 20 + batches * rows
+        # Identity: probe rows from every batch, and the warm file.
+        for j in range(batches):
+            for i in {0, rows // 2, rows - 1}:
+                hits = client.search(
+                    "uuid", UuidQuery(event_uuid(10 + j, i)), k=5
+                )
+                assert len(hits.matches) == 1, (j, i, hits)
+        warm = client.search("uuid", UuidQuery(event_uuid(1, 0)), k=5)
+        assert len(warm.matches) == 1

@@ -120,6 +120,25 @@ class TestRenderDashboard:
         assert "no billed queries yet" in doc
         assert "no phase-tagged query samples yet" in doc
 
+    def test_ingest_panel_only_with_ingest_telemetry(self):
+        # Lake-only hubs skip the panel instead of rendering an empty box.
+        assert "Real-time ingest freshness" not in render_dashboard(
+            _populated_hub()
+        )
+        hub = _populated_hub()
+        for i, lag in enumerate((12.0, 15.0, 19.0)):
+            hub.quantiles("ingest.freshness_lag_s").observe(
+                lag, at_s=100.0 + 70.0 * i
+            )
+        hub.series("ingest.drains").observe(1.0, at_s=240.0)
+        hub.series("ingest.drained_rows").observe(72.0, at_s=240.0)
+        hub.series("ingest.fresh_matches").observe(3.0, at_s=50.0)
+        doc = render_dashboard(hub)
+        assert "Real-time ingest freshness" in doc
+        assert "freshness lag p99" in doc
+        assert "rows drained" in doc
+        assert "freshness lag (s)" in doc  # the windowed chart rendered
+
     def test_write_dashboard(self, tmp_path):
         path = str(tmp_path / "dash.html")
         assert write_dashboard(path, _populated_hub()) == path
