@@ -16,7 +16,9 @@ DELETE boundary is recoverable by just running ``drain()`` again):
    :class:`~repro.maintain.MaintenancePipeline` (this step also runs
    when there is nothing new to flush, so a drain interrupted between
    commit and index converges on re-run),
-6. truncate the drained segments and evict their memtables.
+6. truncate the drained segments and evict their memtables — both
+   capped by any retention lease (:meth:`IngestTier.pin`): a pinned
+   reader snapshot keeps the fresh copies above its floor alive.
 
 Freshness lag — commit time minus each segment's WAL PUT mtime, both
 on the store clock — lands in the ``ingest.freshness_lag_s`` sketch at
@@ -91,13 +93,21 @@ class IngestDrainer:
         snap = lake.snapshot()
         floor = tier.floor(snap)
         segments = wal.segments()
+        # Retention leases (pinned reader snapshots, e.g. a router over
+        # shards materialized from an older snapshot) cap how far
+        # truncation and eviction may go: draining still flushes and
+        # commits — the floor advances for everyone — but the fresh
+        # copies of segments above the lowest pinned floor stay alive
+        # so pinned readers keep serving them.
+        retained = tier.retained_floor()
+        drop_bound = floor if retained is None else min(floor, retained)
         # Step 1: a crash after commit but before truncation leaves
         # committed segments behind; they are lazy now, so drop them.
         # The union with seal markers catches the narrower wreck of a
         # crash *between* a segment's two truncation DELETEs, which
         # leaves a seal with no segment.
         for seq in sorted(set(segments) | wal.sealed()):
-            if seq <= floor:
+            if seq <= drop_bound:
                 wal.truncate(seq)
         pending = [seq for seq in segments if seq > floor]
         report = DrainReport()
@@ -111,9 +121,12 @@ class IngestDrainer:
             # history must end on the same bytes. No-op when not due.
             lake._maybe_checkpoint(lake.log.latest_version())
         report.index_records = self._index_stage()
+        drained_to = floor if not pending else pending[-1]
+        evict_to = drained_to if retained is None else min(drained_to, retained)
         for seq in pending:
-            wal.truncate(seq)
-        tier.evict(floor if not pending else pending[-1])
+            if seq <= evict_to:
+                wal.truncate(seq)
+        tier.evict(evict_to)
         return report
 
     def _flush(self, pending: list[int]) -> DrainReport:

@@ -20,7 +20,7 @@ from repro.core.client import SearchMatch
 from repro.core.queries import Query
 from repro.errors import IngestError
 from repro.ingest.memtable import Memtable
-from repro.ingest.wal import WriteAheadLog
+from repro.ingest.wal import WriteAheadLog, encode_columns
 from repro.lake.snapshot import Snapshot
 from repro.lake.table import LakeTable
 from repro.obs.metrics import get_registry
@@ -46,6 +46,8 @@ class IngestTier:
         self.app_id = f"ingest/{self.root}"
         self._memtables: dict[int, Memtable] = {}
         self._next_seq = 0
+        self._pins: dict[int, int] = {}  # lease id -> pinned floor
+        self._next_pin = 0
         self._lock = threading.Lock()
         self.recover()
 
@@ -87,15 +89,25 @@ class IngestTier:
         this returns, ``search()`` on any client sharing this tier
         finds the rows — before any ``index``/``compact`` run.
         """
-        with self._lock:
-            seq = self._next_seq
-            self._next_seq += 1
-        canonical = self.wal.append(seq, columns)
-        table = Memtable(seq, self.wal.segment_key(seq), self.lake.schema)
-        rows = table.insert(canonical)
-        if rows == 0:
+        # Validate before any durable effect: a rejected batch (missing
+        # or ragged columns, zero rows) must not consume a seq or leave
+        # a segment object behind for recovery/drain to replay.
+        payload = encode_columns(self.lake.schema, columns)
+        if not payload[self.lake.schema.fields[0].name]:
             raise IngestError("empty ingest batch")
         with self._lock:
+            # The WAL PUT happens under the lock: segment durability is
+            # then monotonic in seq, so a drain can never observe seq N
+            # durable while an *acked-later* seq < N is still in
+            # flight. Without this, committing floor = N would strand
+            # the lower segment below the floor — excluded from the
+            # fresh view, never flushed, deleted by the next drain's
+            # leftover truncation — silently losing an acked batch.
+            seq = self._next_seq
+            self._next_seq += 1
+            canonical = self.wal.append_encoded(seq, payload)
+            table = Memtable(seq, self.wal.segment_key(seq), self.lake.schema)
+            rows = table.insert(canonical)
             self._memtables[seq] = table
         _INGESTED.inc(rows)
         at_s = self.store.clock.now()
@@ -153,3 +165,37 @@ class IngestTier:
         with self._lock:
             for seq in [s for s in self._memtables if s <= up_to_seq]:
                 del self._memtables[seq]
+
+    # -- retention leases ----------------------------------------------
+    def pin(self, snapshot: Snapshot | None = None) -> int:
+        """Lease the fresh view of ``snapshot``; returns the lease id.
+
+        A reader that serves lazy data from an older snapshot (the
+        sharded :class:`~repro.shard.router.QueryRouter`, whose shards
+        were materialized from one) pins that snapshot so drains keep
+        the memtables and WAL segments above its floor alive — rows the
+        drainer commits *after* the pin stay servable fresh, instead of
+        falling between the reader's stale shards and the advanced
+        floor. Leases are process-local, like the memtables they
+        protect; release with :meth:`unpin`.
+        """
+        floor = self.floor(snapshot)
+        with self._lock:
+            lease = self._next_pin
+            self._next_pin += 1
+            self._pins[lease] = floor
+        return lease
+
+    def unpin(self, lease: int) -> None:
+        """Release a retention lease (idempotent)."""
+        with self._lock:
+            self._pins.pop(lease, None)
+
+    def retained_floor(self) -> int | None:
+        """Lowest pinned floor, or None when nothing is pinned.
+
+        The drainer must not truncate WAL segments or evict memtables
+        above this seq, however far the committed floor advances.
+        """
+        with self._lock:
+            return min(self._pins.values(), default=None)

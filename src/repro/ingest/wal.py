@@ -107,7 +107,16 @@ class WriteAheadLog:
         memtable must index, so live inserts and replayed inserts are
         bit-for-bit the same.
         """
-        payload = encode_columns(self.schema, columns)
+        return self.append_encoded(seq, encode_columns(self.schema, columns))
+
+    def append_encoded(self, seq: int, payload: dict) -> dict[str, list]:
+        """PUT one segment whose payload is already canonical.
+
+        Split from :meth:`append` so callers can validate a batch
+        (:func:`encode_columns` raises on missing/ragged columns) and
+        reject it *before* anything durable happens — a refused batch
+        must not leave a segment object behind.
+        """
         body = json.dumps(
             {"seq": seq, "columns": payload}, indent=None, sort_keys=True
         ).encode("utf-8")

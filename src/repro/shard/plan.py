@@ -258,6 +258,7 @@ class ShardPlan:
             boundaries=boundaries,
             groups=groups,
             clock=clock,
+            source_snapshot=snap,
         )
         if indexes:
             deployment.build_indexes(indexes)
@@ -298,6 +299,11 @@ class ShardDeployment:
     boundaries: tuple
     groups: list[ShardGroup]
     clock: object = None
+    #: The source-lake snapshot the shards were built from. Routers
+    #: pin their fresh-tier probe to it: rows drained into the source
+    #: lake *after* materialization exist on no shard, so they must
+    #: keep being served fresh, not vanish below an advanced floor.
+    source_snapshot: object = None
     _closed: bool = field(default=False, repr=False)
 
     @property

@@ -212,8 +212,19 @@ class QueryRouter:
         #: acked-but-undrained rows exist on no shard; the router
         #: merges the tier's fresh view as one more sorted run so the
         #: sharded path honors the same freshness contract as a single
-        #: server.
+        #: server. The probe is pinned to the snapshot the shards were
+        #: materialized from (and leased against eviction via
+        #: ``tier.pin``): a drain committed after materialization
+        #: advances the *current* floor, but its rows are on no shard —
+        #: probing the current snapshot would silently drop them.
         self.fresh_tier = fresh_tier
+        self._fresh_snapshot = None
+        self._fresh_lease = None
+        if fresh_tier is not None:
+            self._fresh_snapshot = (
+                deployment.source_snapshot or fresh_tier.lake.snapshot()
+            )
+            self._fresh_lease = fresh_tier.pin(self._fresh_snapshot)
         self.prune = prune
         self.on_shard_failure = on_shard_failure
         self.cost_model = cost_model or CostModel()
@@ -232,6 +243,9 @@ class QueryRouter:
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
+        if self.fresh_tier is not None and self._fresh_lease is not None:
+            self.fresh_tier.unpin(self._fresh_lease)
+            self._fresh_lease = None
         self._pool.close()
 
     def __enter__(self) -> "QueryRouter":
@@ -279,12 +293,16 @@ class QueryRouter:
         per_shard = [o.matches for o in answered]
         if self.fresh_tier is not None and partition is None:
             # The fresh tier is one more sorted run in the global
-            # merge: an in-memory probe of the undrained WAL segments,
+            # merge: an in-memory probe of the WAL segments beyond the
+            # *materialization* snapshot's floor (not the lake's
+            # current one — rows drained since then are on no shard),
             # identified by WAL-segment keys so it can never collide
             # with a shard's (file, row) identities.
             with get_tracer().span("router.fresh", column=column):
                 per_shard.append(
-                    self.fresh_tier.search_fresh(column, query, k=k)
+                    self.fresh_tier.search_fresh(
+                        column, query, k=k, snapshot=self._fresh_snapshot
+                    )
                 )
         if query.scoring:
             matches = merge_topk(per_shard, k)

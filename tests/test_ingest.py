@@ -11,6 +11,8 @@ dropped, none double-counted, byte-identical re-runs).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -267,6 +269,40 @@ class TestFreshnessInvariant:
         store, lake, client, tier = _setup(warm_files=0)
         with pytest.raises(IngestError):
             tier.ingest({name: [] for name in EVENT_SCHEMA.names})
+        # A rejected batch is refused *before* anything durable: no WAL
+        # segment to replay into a zero-row lake file, no seq consumed.
+        assert tier.wal.segments() == []
+        assert tier.ingest(event_batch(5, seed=1)) == 0
+
+    def test_router_serves_rows_drained_after_materialization(self):
+        from repro.shard import QueryRouter, ShardPlan
+
+        store, lake, client, tier = _setup(warm_files=2)
+        tier.ingest(event_batch(30, seed=9))
+        with use_hub(TelemetryHub()):
+            deployment = ShardPlan(n_shards=2).materialize(
+                lake, "uuid", indexes=[("uuid", "uuid_trie", {})]
+            )
+            with deployment, QueryRouter(
+                deployment, hedge=None, fresh_tier=tier
+            ) as router:
+                # Drain AFTER materialization: the rows move into the
+                # source lake (current floor advances) but exist on no
+                # shard — the router's pinned probe must keep serving
+                # them fresh, and its lease must keep them alive.
+                report = IngestDrainer(tier).drain()
+                assert report.segments == [0]
+                r = router.query("uuid", UuidQuery(event_uuid(9, 1)), k=10)
+                assert len(r.matches) == 1
+                assert r.matches[0].file.startswith(tier.wal.prefix)
+                # Pre-materialization rows still come from the shards.
+                lazy = router.query("uuid", UuidQuery(event_uuid(1, 1)), k=10)
+                assert len(lazy.matches) == 1
+                assert not lazy.matches[0].file.startswith(tier.wal.prefix)
+            # close() released the lease: the next drain cleans up.
+            assert IngestDrainer(tier).drain().empty
+        assert tier.wal.segments() == []
+        assert tier.pending_rows() == 0
 
 
 # ---------------------------------------------------------------------
@@ -393,6 +429,40 @@ class TestDrain:
             report = IngestDrainer(IngestTier(store, INGEST_ROOT, lake)).drain()
         assert report.empty
         assert store.list("ingest/events/wal/") == []
+
+    def test_concurrent_ingest_with_drains_never_loses_acked_rows(self):
+        # Regression: the WAL PUT must happen under the tier lock so
+        # durability is monotonic in seq. Otherwise a drain racing two
+        # writers can commit floor=N while an acked seq<N PUT is still
+        # in flight, stranding that batch below the floor forever.
+        store, lake, client, tier = _setup(warm_files=0)
+        acked: list[bytes] = []
+        acked_lock = threading.Lock()
+
+        def writer(worker: int) -> None:
+            for i in range(4):
+                seed = 100 + worker * 10 + i
+                batch = event_batch(3, seed=seed)
+                tier.ingest(batch)
+                with acked_lock:
+                    acked.append(batch["uuid"][0])
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(4)
+        ]
+        with use_hub(TelemetryHub()):
+            for t in threads:
+                t.start()
+            for _ in range(5):  # drains race the writers (single drainer)
+                IngestDrainer(tier).drain()
+            for t in threads:
+                t.join()
+            IngestDrainer(tier).drain()
+        assert len(acked) == 16
+        assert tier.pending_rows() == 0
+        for uuid in acked:
+            r = client.search("uuid", UuidQuery(uuid), k=10)
+            assert len(r.matches) == 1  # never dropped, never doubled
 
     def test_drain_interleaves_with_new_ingests(self):
         store, lake, client, tier, hub, report = self._drained()
