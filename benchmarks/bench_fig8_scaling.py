@@ -26,6 +26,7 @@ from benchmarks.common import (
     build_text_scenario,
     build_uuid_scenario,
     build_vector_scenario,
+    write_bench,
     write_result,
 )
 
@@ -123,6 +124,15 @@ def test_fig8cd_rottnest_scaling(scenarios, benchmark):
     text = "\n".join(lines)
     print(text)
     write_result("fig8cd_rottnest.txt", text)
+    write_bench(
+        "fig8",
+        "rottnest_scaling",
+        metrics={
+            f"{kind}_latency_ms": round(points[0][1] * 1000.0, 3)
+            for kind, points in shape.items()
+        },
+        params={"searchers": [1, 2, 4, 8]},
+    )
     for points in shape.values():
         latencies = [l for _, l, _ in points]
         costs = [c for _, _, c in points]
@@ -140,6 +150,7 @@ def test_vii_a_minimum_latency_thresholds(scenarios, benchmark):
     )
     paper_thresholds = {"substring": 4.6, "uuid": 1.7, "vector": 2.3}
     paper_speedups = {"substring": 4.3, "uuid": 4.3, "vector": 5.4}
+    measured = {}
     lines = [
         "=== §VII-A minimum latency thresholds ===",
         f"{'workload':>10} | {'rottnest(1) meas.':>18} | {'paper':>6} | "
@@ -150,6 +161,7 @@ def test_vii_a_minimum_latency_thresholds(scenarios, benchmark):
         rott = res.stats.estimated_latency(LAT)
         brute64 = MODELS[kind].latency(PAPER_BYTES[kind], 64)
         speedup = brute64 / max(rott, paper_thresholds[kind])
+        measured[f"{kind}_latency_ms"] = round(rott * 1000.0, 3)
         lines.append(
             f"{kind:>10} | {rott*1000:15.1f} ms | {paper_thresholds[kind]:5.1f}s"
             f" | {brute64:14.1f} s | {speedup:7.1f}x | {paper_speedups[kind]:5.1f}x"
@@ -161,3 +173,9 @@ def test_vii_a_minimum_latency_thresholds(scenarios, benchmark):
     text = "\n".join(lines)
     print(text)
     write_result("viia_thresholds.txt", text)
+    write_bench(
+        "fig8",
+        "minimum_latency_thresholds",
+        metrics=measured,
+        params={"brute_workers": 64, "searchers": 1},
+    )

@@ -383,7 +383,21 @@ def cmd_profile(args) -> int:
     print(tail_attribution(samples).headline())
     billed = sum(b.total_request_cost_usd(costs) for b in bills)
     reference = price_iostats(delta, costs)
-    verdict = "exact" if billed == reference else "MISMATCH"
+    # Reconcile on the exact integer request/byte counts — the real
+    # drift signal (an op outside any phase span) — rather than on the
+    # float dollar totals, whose summation order differs between the
+    # per-phase bills and the one-shot IOStats pricing.
+    attributed = [0] * 7
+    for bill in bills:
+        for phase in bill.phases:
+            for i, n in enumerate(
+                (phase.gets, phase.puts, phase.lists, phase.heads,
+                 phase.deletes, phase.bytes_read, phase.bytes_written)
+            ):
+                attributed[i] += n
+    observed = [delta.gets, delta.puts, delta.lists, delta.heads,
+                delta.deletes, delta.bytes_read, delta.bytes_written]
+    verdict = "exact" if attributed == observed else "MISMATCH"
     print(
         f"reconciliation: bill ${billed:.3e} vs IOStats delta "
         f"${reference:.3e} [{verdict}]"

@@ -24,7 +24,12 @@ from repro.errors import (
 )
 from repro.core.index_file import IndexFileReader, IndexFileWriter, PageDirectory
 from repro.core.queries import Query, VectorQuery
-from repro.formats.page_reader import PageEntry, PageTable, build_page_table, read_page
+from repro.formats.page_reader import (
+    PageEntry,
+    PageTable,
+    build_page_table,
+    fetch_pages,
+)
 from repro.formats.reader import ParquetFile
 from repro.indices.base import (
     ExactQuerier,
@@ -658,49 +663,58 @@ class RottnestClient:
         stats: SearchStats,
     ) -> list[SearchMatch]:
         tracer = get_tracer()
-        candidate_pages: list[PageEntry] = []
+        # Candidate pages are kept per record (first probe to claim a
+        # page wins, via the shared `seen_pages` set) so page reads can
+        # be issued as one coalesced batch per claiming record — the
+        # same partition the pipelined executor produces.
+        per_record_pages: list[list[PageEntry]] = []
         seen_pages: set[tuple[str, int]] = set()
         with tracer.span("probe:index", phase="index_probe") as index_span:
             index_trace = RequestTrace()
             for record in chosen:
+                claimed: list[PageEntry] = []
                 trace = self._query_one_exact(
-                    record, query, snap_paths, candidate_pages, seen_pages
+                    record, query, snap_paths, claimed, seen_pages
                 )
+                per_record_pages.append(claimed)
                 # Index files are queried in parallel with each other...
                 index_trace = index_trace.merge_parallel(trace)
             index_span.trace = index_trace
         # ...but strictly after the plan phase.
         stats.trace = stats.trace.then(index_trace)
-        stats.candidates = len(candidate_pages)
+        stats.candidates = sum(len(c) for c in per_record_pages)
 
-        # In-situ probing: one parallel round of page reads, then verify
-        # the real predicate row by row and apply deletion vectors.
+        # In-situ probing: each record's claimed pages go out as one
+        # coalesced batch (`get_many`), then the real predicate is
+        # verified row by row with deletion vectors applied. Early-K
+        # termination skips whole later batches.
         with tracer.span("probe:pages", phase="page_read") as page_span:
             self.store.start_trace()
             field = snap.schema.field(column)
             matches: list[SearchMatch] = []
-            verified_rows = 0
-            for entry in candidate_pages:
+            for claimed in per_record_pages:
+                if len(matches) >= k or not claimed:
+                    continue
                 try:
-                    row_start, values = read_page(self.store, field, entry)
+                    payloads = fetch_pages(self.store, field, claimed)
                 except ObjectStoreError as exc:
-                    _raise_unmaterialized(snap, entry.file_key, exc)
-                stats.pages_probed += 1
-                dv = self.lake.deletion_vector(snap, entry.file_key)
-                page_hit = False
-                for i, value in enumerate(values):
-                    row = row_start + i
-                    if row in dv or not query.matches(value):
-                        continue
-                    page_hit = True
-                    verified_rows += 1
-                    matches.append(
-                        SearchMatch(file=entry.file_key, row=row, value=value)
-                    )
-                if not page_hit:
-                    stats.false_positives += 1
-                if len(matches) >= k:
-                    break
+                    _raise_unmaterialized(snap, _failed_key(exc, claimed), exc)
+                stats.pages_probed += len(claimed)
+                for entry, (row_start, values) in zip(claimed, payloads):
+                    dv = self.lake.deletion_vector(snap, entry.file_key)
+                    page_hit = False
+                    for i, value in enumerate(values):
+                        row = row_start + i
+                        if row in dv or not query.matches(value):
+                            continue
+                        page_hit = True
+                        matches.append(
+                            SearchMatch(file=entry.file_key, row=row, value=value)
+                        )
+                    if not page_hit:
+                        stats.false_positives += 1
+                    if len(matches) >= k:
+                        break
             # Probing depends on index results; sequential after them.
             page_span.trace = self.store.stop_trace()
             stats.trace = stats.trace.then(page_span.trace)
@@ -812,7 +826,8 @@ class RottnestClient:
         candidates = candidates[: query.refine]
         stats.candidates = len(candidates)
 
-        # Refine: read candidate pages, compute exact distances.
+        # Refine: read candidate pages as one coalesced batch, compute
+        # exact distances.
         with tracer.span("probe:pages", phase="page_read") as page_span:
             self.store.start_trace()
             field = snap.schema.field(column)
@@ -823,13 +838,15 @@ class RottnestClient:
                 by_page.setdefault(page_key, []).append(offset)
                 entries[page_key] = entry
             scored: list[SearchMatch] = []
-            for page_key, offsets in by_page.items():
-                entry = entries[page_key]
-                try:
-                    row_start, values = read_page(self.store, field, entry)
-                except ObjectStoreError as exc:
-                    _raise_unmaterialized(snap, entry.file_key, exc)
-                stats.pages_probed += 1
+            page_entries = [entries[page_key] for page_key in by_page]
+            try:
+                payloads = fetch_pages(self.store, field, page_entries)
+            except ObjectStoreError as exc:
+                _raise_unmaterialized(snap, _failed_key(exc, page_entries), exc)
+            stats.pages_probed += len(page_entries)
+            for entry, offsets, (row_start, values) in zip(
+                page_entries, by_page.values(), payloads
+            ):
                 dv = self.lake.deletion_vector(snap, entry.file_key)
                 for offset in set(offsets):
                     row = row_start + offset
@@ -878,6 +895,16 @@ def _count_overlapping(haystack: str, needle: str) -> int:
             return count
         count += 1
         start += 1
+
+
+def _failed_key(exc: Exception, entries: list[PageEntry]) -> str:
+    """The data-file key behind a failed batched page read.
+
+    Store errors that know their key (``ObjectNotFound``) report it;
+    otherwise the batch's first file stands in for the error message.
+    """
+    key = getattr(exc, "key", None)
+    return key if isinstance(key, str) else entries[0].file_key
 
 
 def _raise_unmaterialized(snap: Snapshot, path: str, exc: Exception):

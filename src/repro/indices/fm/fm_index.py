@@ -492,7 +492,9 @@ class FmQuerier(ExactQuerier):
         self.block_size: int = params["block_size"]
         self.num_blocks: int = params["num_blocks"]
         self.sentinels: list[int] = sorted(params["sentinels"])
+        self._sentinel_arr = np.asarray(self.sentinels, dtype=np.int64)
         self._block_cache: dict[int, bytes] = {}
+        self._decoded: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._sa_cache: dict[int, bytes] = {}
         self._c_array: np.ndarray | None = None
 
@@ -501,6 +503,23 @@ class FmQuerier(ExactQuerier):
         if b not in self._block_cache:
             self._block_cache[b] = self.reader.component(f"blk{b}")
         return self._block_cache[b]
+
+    def _block_arrays(self, b: int) -> tuple[np.ndarray, np.ndarray]:
+        """Decoded views of one block: ``(cumulative counts, BWT chars)``.
+
+        Decoding (frombuffer + dtype widening) happens once per block
+        and is cached, so the backward-search inner loop is pure numpy
+        rank arithmetic over resident arrays — every extension step of
+        :meth:`interval` otherwise re-parses the same hot blocks.
+        """
+        cached = self._decoded.get(b)
+        if cached is None:
+            blob = self._block(b)
+            base = np.frombuffer(blob, dtype="<u4", count=256).astype(np.int64)
+            chars = np.frombuffer(blob, dtype=np.uint8, offset=1024)
+            cached = (base, chars)
+            self._decoded[b] = cached
+        return cached
 
     def _prefetch_blocks(self, blocks: list[int]) -> None:
         missing = sorted({b for b in blocks if b not in self._block_cache})
@@ -511,7 +530,9 @@ class FmQuerier(ExactQuerier):
             self._block_cache[b] = blob
 
     def _sentinels_before(self, pos: int) -> int:
-        return sum(1 for s in self.sentinels if s < pos)
+        # Sentinel positions are sorted: the count of those < pos is a
+        # binary search, not a Python scan.
+        return int(np.searchsorted(self._sentinel_arr, pos, side="left"))
 
     def _occ(self, char: int, pos: int) -> int:
         """Occurrences of ``char`` in BWT[0:pos), sentinel-corrected."""
@@ -519,11 +540,9 @@ class FmQuerier(ExactQuerier):
             return 0
         pos = min(pos, self.n)
         b = (pos - 1) // self.block_size
-        blob = self._block(b)
-        base = np.frombuffer(blob, dtype="<u4", count=256)
-        slice_arr = np.frombuffer(blob, dtype=np.uint8, offset=1024)
+        base, chars = self._block_arrays(b)
         local = pos - b * self.block_size
-        occ = int(base[char]) + int(np.count_nonzero(slice_arr[:local] == char))
+        occ = int(base[char]) + int(np.count_nonzero(chars[:local] == char))
         if char == 0:
             occ -= self._sentinels_before(pos)
         return occ
@@ -532,9 +551,7 @@ class FmQuerier(ExactQuerier):
     def c_array(self) -> np.ndarray:
         """``C[c]`` = BWT characters (incl. sentinels) smaller than c."""
         if self._c_array is None:
-            blob = self._block(self.num_blocks - 1)
-            base = np.frombuffer(blob, dtype="<u4", count=256).astype(np.int64)
-            tail = np.frombuffer(blob, dtype=np.uint8, offset=1024)
+            base, tail = self._block_arrays(self.num_blocks - 1)
             totals = base + np.bincount(tail, minlength=256)
             totals[0] -= len(self.sentinels)
             c = np.empty(257, dtype=np.int64)
@@ -644,8 +661,8 @@ class FmQuerier(ExactQuerier):
             sample = self._sample_at(j)
             if sample is not None:
                 return sample + steps
-            blob = self._block(j // self.block_size)
-            char = blob[1024 + (j % self.block_size)]
+            _, chars = self._block_arrays(j // self.block_size)
+            char = int(chars[j % self.block_size])
             self.reader.barrier()
             j = int(self.c_array[char]) + self._occ(char, j)
             steps += 1

@@ -269,19 +269,28 @@ class IvfPqQuerier(ScoringQuerier):
         blobs = self.reader.components(names)
         pq = ProductQuantizer.deserialize(blobs[-1]) if self._pq is None else self._pq
         self._pq = pq
-        scored: list[tuple[float, int, int]] = []
+        # Score whole probed lists as arrays; one lexsort at the end
+        # replaces the per-candidate tuple loop + sort (same order,
+        # including (score, gid, offset) tie-breaking).
+        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         for c, blob in zip(probe, blobs[:-1]):
             gids, offsets, codes = _parse_list(blob, self.m)
             if not len(gids):
                 continue
             table = pq.adc_table(vector - self.centroids[c])
             approx = ProductQuantizer.adc_distances(codes, table)
-            for i in range(len(gids)):
-                scored.append((float(approx[i]), int(gids[i]), int(offsets[i])))
-        scored.sort()
+            parts.append((np.asarray(approx, dtype=np.float64), gids, offsets))
+        if not parts:
+            return []
+        approx = np.concatenate([p[0] for p in parts])
+        gids = np.concatenate([p[1] for p in parts]).astype(np.int64)
+        offsets = np.concatenate([p[2] for p in parts]).astype(np.int64)
+        order = np.lexsort((offsets, gids, approx))[:limit]
         return [
-            RowCandidate(gid=gid, offset=offset, score=score)
-            for score, gid, offset in scored[:limit]
+            RowCandidate(
+                gid=int(gids[i]), offset=int(offsets[i]), score=float(approx[i])
+            )
+            for i in order
         ]
 
 

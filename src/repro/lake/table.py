@@ -98,14 +98,18 @@ class LakeTable:
         return self.log.latest_version()
 
     def snapshot(self, version: int | None = None) -> Snapshot:
+        # One umbrella LIST (log tip + checkpoint inventory together)
+        # keeps the cold plan round at a single unparallelisable LIST
+        # for the lake instead of three.
+        latest, checkpoints = self.log.versions()
         if version is None:
-            version = self.log.latest_version()
-        base_version = self.log.latest_checkpoint_version(version)
+            version = latest
+        base_version = max((c for c in checkpoints if c <= version), default=-1)
         if base_version >= 0:
             base = self.log.read_checkpoint(base_version)
-            tail = self.log.read_range(base_version + 1, version)
+            tail = self.log.read_range(base_version + 1, version, latest=latest)
             return replay(version, tail, base=base)
-        return replay(version, self.log.read_all(up_to=version))
+        return replay(version, self.log.read_all(up_to=version, latest=latest))
 
     def _maybe_checkpoint(self, version: int) -> None:
         if (version + 1) % self.config.checkpoint_interval != 0:

@@ -101,6 +101,25 @@ class MetadataTable:
             return -1
         return int(entries[-1].key.rsplit("/", 1)[1].split(".")[0])
 
+    def versions(self) -> tuple[int, int]:
+        """``(latest log version, latest checkpoint version)`` with one
+        LIST.
+
+        ``_meta/`` and ``_meta_checkpoints/`` share the umbrella prefix
+        ``<index_dir>/_meta`` (index files live under other names), so
+        the read path pays one ~100 ms unparallelisable LIST instead of
+        two. Either value is -1 when that log is empty.
+        """
+        latest = checkpoint = -1
+        for info in self.store.list(f"{self.index_dir}/{META_LOG_DIR}"):
+            if info.key.startswith(self._prefix):
+                name = info.key.rsplit("/", 1)[1]
+                latest = max(latest, int(name.split(".")[0]))
+            elif info.key.startswith(self._checkpoint_prefix):
+                name = info.key.rsplit("/", 1)[1]
+                checkpoint = max(checkpoint, int(name.split(".")[0]))
+        return latest, checkpoint
+
     def _read_entry(self, version: int) -> dict:
         data = self.store.get(self._key(version))
         try:
@@ -124,11 +143,11 @@ class MetadataTable:
 
     def records(self) -> list[IndexRecord]:
         """Current live records (inserts minus deletes), oldest first."""
-        start = self.latest_checkpoint_version()
+        latest, start = self.versions()
         live: dict[str, IndexRecord] = (
             self._read_checkpoint(start) if start >= 0 else {}
         )
-        for version in range(start + 1, self.latest_version() + 1):
+        for version in range(start + 1, latest + 1):
             entry = self._read_entry(version)
             for obj in entry.get("insert", []):
                 record = IndexRecord.from_json(obj)

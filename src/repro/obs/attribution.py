@@ -28,7 +28,9 @@ from repro.storage.stats import IOStats, RequestTrace
 
 #: Canonical phase order for bills (spans tag themselves via the
 #: ``phase`` attribute; unknown phases are appended after these).
-PHASE_ORDER = ("plan", "index_probe", "page_read", "brute_force")
+#: ``probe`` is the pipelined executor's fused index-probe + page-read
+#: continuation phase; the sequential client keeps the split phases.
+PHASE_ORDER = ("plan", "fresh", "probe", "index_probe", "page_read", "brute_force")
 
 #: The searcher instance the paper prices queries against (§VII).
 DEFAULT_INSTANCE = "c6i.2xlarge"

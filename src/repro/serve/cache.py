@@ -236,6 +236,51 @@ class CachingObjectStore(ObjectStore):
 
         return self._flights.do(("GET", key, byte_range), fetch)
 
+    def get_many(
+        self,
+        requests,
+        *,
+        gap_threshold: int | None = None,
+        budget=None,
+        return_exceptions: bool = False,
+    ) -> list[bytes]:
+        """Batched reads that serve cache hits and coalesce only misses.
+
+        Each requested sub-range is looked up individually first (a
+        whole-object entry serves any in-bounds range); only the misses
+        enter the coalescing planner, and each merged GET then flows
+        through :meth:`get` — picking up single-flight dedup at
+        merged-request granularity and admission of the merged range,
+        so a repeat of the same plan is served entirely from cache.
+        """
+        from repro.storage import sched
+
+        results: list[bytes | None] = [None] * len(requests)
+        misses: list[tuple[int, object]] = []
+        for index, request in enumerate(requests):
+            cached = self._lookup(request.key, (request.offset, request.length))
+            if cached is not None:
+                results[index] = cached
+            else:
+                misses.append((index, request))
+        if misses:
+            local = [request for _, request in misses]
+            gap = (
+                sched.DEFAULT_GAP_THRESHOLD
+                if gap_threshold is None
+                else gap_threshold
+            )
+            fetched = sched.execute_plan(
+                self,
+                local,
+                sched.plan_reads(local, gap),
+                budget=budget,
+                return_exceptions=return_exceptions,
+            )
+            for (index, _), data in zip(misses, fetched):
+                results[index] = data
+        return results  # type: ignore[return-value]
+
     def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
         # Invalidate even on a failed conditional PUT: the attempt
         # proves the caller is about to re-read the key's latest state.

@@ -21,6 +21,7 @@ many it reproduces Fig. 8c's flat-latency/linear-cost curve.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, TypeVar
 
 from repro.core.client import (
@@ -29,12 +30,13 @@ from repro.core.client import (
     SearchResult,
     SearchStats,
     _exact_key,
+    _failed_key as _failed_page_key,
     _raise_unmaterialized,
 )
 from repro.core.index_file import IndexFileReader
 from repro.core.queries import Query, VectorQuery
 from repro.errors import ObjectStoreError, RottnestIndexError
-from repro.formats.page_reader import PageEntry, read_page
+from repro.formats.page_reader import PageEntry, fetch_pages
 from repro.indices.base import ExactQuerier, ScoringQuerier, querier_for
 from repro.lake.snapshot import Snapshot
 from repro.meta.metadata_table import IndexRecord
@@ -204,72 +206,79 @@ class SearchExecutor:
     ) -> list[SearchMatch]:
         client = self.client
         store = client.store
+        field = snap.schema.field(column)
 
-        def probe_index(record: IndexRecord) -> list[PageEntry]:
+        # Pipelined continuations: one task per index record runs probe
+        # -> claim -> coalesced page reads without a global barrier, so
+        # a finished probe's page reads overlap other records' probes.
+        # Claiming (first probe to claim a page wins, under a lock in
+        # task-submission order for the common single-record case)
+        # partitions pages exactly like the sequential client's shared
+        # `seen_pages` set, so both engines issue the same batches.
+        seen_pages: set[tuple[str, int]] = set()
+        claim_lock = threading.Lock()
+
+        def search_record(record: IndexRecord):
             reader = IndexFileReader.open(store, record.index_key)
             querier = querier_for(record.index_type)(reader)
             assert isinstance(querier, ExactQuerier)
             gids = querier.candidate_pages(_exact_key(query))
             directory = reader.directory
-            return [
+            found = [
                 entry
                 for entry in (directory.locate(gid) for gid in gids)
                 if entry.file_key in snap_paths
             ]
-
-        with get_tracer().span("probe:index", phase="index_probe") as index_span:
-            index_trace, per_record = self._fan_out(
-                [lambda r=record: probe_index(r) for record in chosen]
-            )
-            index_span.trace = index_trace
-        stats.trace = stats.trace.then(index_trace)
-        # Dedup across records in submission order — same first-wins
-        # rule as the sequential client's shared `seen_pages` set.
-        candidate_pages: list[PageEntry] = []
-        seen_pages: set[tuple[str, int]] = set()
-        for entries in per_record:
-            for entry in entries:
-                page_key = (entry.file_key, entry.page_id)
-                if page_key not in seen_pages:
-                    seen_pages.add(page_key)
-                    candidate_pages.append(entry)
-        stats.candidates = len(candidate_pages)
-
-        # In-situ probing: page reads fan across the pool; verification
-        # replays them in candidate order so early-K termination picks
-        # the same matches the sequential scan would.
-        field = snap.schema.field(column)
-
-        def probe_page(entry: PageEntry):
+            claimed: list[PageEntry] = []
+            with claim_lock:
+                for entry in found:
+                    page_key = (entry.file_key, entry.page_id)
+                    if page_key not in seen_pages:
+                        seen_pages.add(page_key)
+                        claimed.append(entry)
+            # Page reads depend on this record's probe — but only on
+            # it, not on every other record's (the old phase barrier).
+            store.barrier()
             try:
-                row_start, values = read_page(store, field, entry)
+                payloads = fetch_pages(store, field, claimed)
             except ObjectStoreError as exc:
-                _raise_unmaterialized(snap, entry.file_key, exc)
-            dv = client.lake.deletion_vector(snap, entry.file_key)
-            return row_start, values, dv
+                _raise_unmaterialized(snap, _failed_page_key(exc, claimed), exc)
+            dvs = [
+                client.lake.deletion_vector(snap, entry.file_key)
+                for entry in claimed
+            ]
+            return claimed, payloads, dvs
 
-        with get_tracer().span("probe:pages", phase="page_read") as page_span:
-            probe_trace, pages = self._fan_out(
-                [lambda e=entry: probe_page(e) for entry in candidate_pages]
+        with get_tracer().span("probe", phase="probe") as probe_span:
+            probe_trace, per_record = self._fan_out(
+                [lambda r=record: search_record(r) for record in chosen]
             )
-            page_span.trace = probe_trace
+            probe_span.trace = probe_trace
         stats.trace = stats.trace.then(probe_trace)
-        stats.pages_probed = len(pages)
+        stats.candidates = sum(len(claimed) for claimed, _, _ in per_record)
+        stats.pages_probed = stats.candidates
+
+        # Verification replays the batches in submission order so
+        # early-K termination picks the same matches the sequential
+        # scan would.
         matches: list[SearchMatch] = []
-        for entry, (row_start, values, dv) in zip(candidate_pages, pages):
-            page_hit = False
-            for i, value in enumerate(values):
-                row = row_start + i
-                if row in dv or not query.matches(value):
-                    continue
-                page_hit = True
-                matches.append(
-                    SearchMatch(file=entry.file_key, row=row, value=value)
-                )
-            if not page_hit:
-                stats.false_positives += 1
+        for claimed, payloads, dvs in per_record:
             if len(matches) >= k:
                 break
+            for entry, (row_start, values), dv in zip(claimed, payloads, dvs):
+                page_hit = False
+                for i, value in enumerate(values):
+                    row = row_start + i
+                    if row in dv or not query.matches(value):
+                        continue
+                    page_hit = True
+                    matches.append(
+                        SearchMatch(file=entry.file_key, row=row, value=value)
+                    )
+                if not page_hit:
+                    stats.false_positives += 1
+                if len(matches) >= k:
+                    break
 
         if len(matches) < k and uncovered:
             needed = k - len(matches)
@@ -335,7 +344,9 @@ class SearchExecutor:
         stats.candidates = len(candidates)
 
         # Refine: group candidates by page (insertion order, like the
-        # sequential client), fan the page reads, then score in order.
+        # sequential client), read them as one coalesced batch, then
+        # score in order. The global sort above is a real cross-record
+        # dependency, so this phase keeps its barrier.
         field = snap.schema.field(column)
         by_page: dict[tuple[str, int], list[int]] = {}
         entries: dict[tuple[str, int], PageEntry] = {}
@@ -343,26 +354,33 @@ class SearchExecutor:
             page_key = (entry.file_key, entry.page_id)
             by_page.setdefault(page_key, []).append(offset)
             entries[page_key] = entry
+        page_entries = [entries[page_key] for page_key in by_page]
 
-        def probe_page(entry: PageEntry):
+        def probe_pages():
             try:
-                row_start, values = read_page(store, field, entry)
+                payloads = fetch_pages(store, field, page_entries)
             except ObjectStoreError as exc:
-                _raise_unmaterialized(snap, entry.file_key, exc)
-            dv = client.lake.deletion_vector(snap, entry.file_key)
-            return row_start, values, dv
+                _raise_unmaterialized(
+                    snap, _failed_page_key(exc, page_entries), exc
+                )
+            dvs = [
+                client.lake.deletion_vector(snap, entry.file_key)
+                for entry in page_entries
+            ]
+            return payloads, dvs
 
-        page_keys = list(by_page)
         with get_tracer().span("probe:pages", phase="page_read") as page_span:
-            refine_trace, pages = self._fan_out(
-                [lambda pk=page_key: probe_page(entries[pk]) for page_key in page_keys]
+            refine_trace, batches = self._fan_out(
+                [probe_pages] if page_entries else []
             )
             page_span.trace = refine_trace
-        stats.pages_probed = len(pages)
+        payloads, dvs = batches[0] if batches else ([], [])
+        stats.pages_probed = len(page_entries)
         scored: list[SearchMatch] = []
-        for page_key, (row_start, values, dv) in zip(page_keys, pages):
-            entry = entries[page_key]
-            for offset in set(by_page[page_key]):
+        for entry, offsets, (row_start, values), dv in zip(
+            page_entries, by_page.values(), payloads, dvs
+        ):
+            for offset in set(offsets):
                 row = row_start + offset
                 if row in dv:
                     continue

@@ -44,6 +44,7 @@ class CostModel:
     )
 
     def instance_hourly(self, instance_type: str) -> float:
+        """On-demand hourly price for ``instance_type`` (KeyError if unknown)."""
         try:
             return self.instance_prices[instance_type]
         except KeyError:
@@ -65,6 +66,7 @@ class CostModel:
         return self.instance_hourly(instance_type) * (seconds / 3600.0) * count
 
     def request_cost(self, gets: int = 0, puts: int = 0, lists: int = 0) -> float:
+        """Dollar cost of a request mix — the term coalescing shrinks."""
         return (
             gets * self.s3_get_per_request
             + puts * self.s3_put_per_request

@@ -29,6 +29,7 @@ class LocalFSObjectStore(ObjectStore):
     """Object store rooted at a directory on the local filesystem."""
 
     def __init__(self, root: str, clock: Clock | None = None) -> None:
+        """Create (if needed) and root the store at directory ``root``."""
         super().__init__(clock if clock is not None else SystemClock())
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
@@ -39,6 +40,7 @@ class LocalFSObjectStore(ObjectStore):
         return os.path.join(self.root, *key.split("/"))
 
     def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
+        """Atomic PUT (temp + rename); ``if_none_match`` uses O_EXCL CAS."""
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         mtime = self.clock.now()
@@ -68,6 +70,7 @@ class LocalFSObjectStore(ObjectStore):
             return ObjectInfo(key=key, size=len(data), mtime=mtime)
 
     def get(self, key: str, byte_range: tuple[int, int] | None = None) -> bytes:
+        """Read the object (or an in-bounds byte range) from its file."""
         path = self._path(key)
         try:
             with open(path, "rb") as f:
@@ -90,6 +93,7 @@ class LocalFSObjectStore(ObjectStore):
             raise ObjectNotFound(key) from None
 
     def head(self, key: str) -> ObjectInfo:
+        """Size/mtime metadata from ``os.stat``, no payload read."""
         path = self._path(key)
         try:
             stat = os.stat(path)
@@ -99,6 +103,7 @@ class LocalFSObjectStore(ObjectStore):
         return ObjectInfo(key=key, size=stat.st_size, mtime=stat.st_mtime)
 
     def list(self, prefix: str = "") -> list[ObjectInfo]:
+        """Walk the root and return key-sorted objects under ``prefix``."""
         self._record("LIST", prefix, 0)
         out = []
         for dirpath, _dirnames, filenames in os.walk(self.root):
@@ -116,6 +121,7 @@ class LocalFSObjectStore(ObjectStore):
         return sorted(out, key=lambda i: i.key)
 
     def delete(self, key: str) -> None:
+        """Remove the object's file; deleting a missing key is a no-op."""
         self._record("DELETE", key, 0)
         try:
             os.remove(self._path(key))

@@ -54,6 +54,7 @@ class ObjectStore(ABC):
     """
 
     def __init__(self, clock: Clock | None = None) -> None:
+        """Bind a clock (``SimClock`` default) and fresh IO accounting."""
         self.clock: Clock = clock if clock is not None else SimClock()
         self.stats = IOStats()
         self._trace_tls = threading.local()
@@ -132,11 +133,50 @@ class ObjectStore(ABC):
         """Remove an object; deleting a missing key is a no-op (S3-like)."""
 
     def exists(self, key: str) -> bool:
+        """Whether ``key`` exists, via a (billed) HEAD."""
         try:
             self.head(key)
             return True
         except ObjectNotFound:
             return False
+
+    def get_many(
+        self,
+        requests,
+        *,
+        gap_threshold: int | None = None,
+        budget=None,
+        return_exceptions: bool = False,
+    ) -> list[bytes]:
+        """Batched ranged reads through the coalescing scheduler.
+
+        ``requests`` is a sequence of :class:`repro.storage.sched.
+        RangeRequest`; the scheduler sorts per-key ranges, merges those
+        closer than ``gap_threshold`` bytes into one GET, and slices
+        the merged payloads back out — byte-identical to issuing each
+        range as its own :meth:`get`, but with fewer wire requests. The
+        default implementation dispatches every merged request through
+        ``self.get``, so subclasses and wrappers (faults, retries,
+        caching) compose without overriding anything; stores that can
+        serve parts of the plan themselves (the caching store) override
+        this to coalesce only what they must fetch.
+
+        See :mod:`repro.storage.sched` for the planning rules and the
+        waste-byte accounting contract.
+        """
+        from repro.storage import sched
+
+        return sched.get_many(
+            self,
+            requests,
+            gap_threshold=(
+                sched.DEFAULT_GAP_THRESHOLD
+                if gap_threshold is None
+                else gap_threshold
+            ),
+            budget=budget,
+            return_exceptions=return_exceptions,
+        )
 
 
 class InMemoryObjectStore(ObjectStore):
@@ -147,10 +187,12 @@ class InMemoryObjectStore(ObjectStore):
     """
 
     def __init__(self, clock: Clock | None = None) -> None:
+        """Start empty; all state lives in one dict under the store lock."""
         super().__init__(clock)
         self._objects: dict[str, tuple[bytes, float]] = {}
 
     def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
+        """Store a copy of ``data``; conditional PUT fails if key exists."""
         if not key:
             raise ValueError("empty key")
         with self._lock:
@@ -164,6 +206,7 @@ class InMemoryObjectStore(ObjectStore):
             return ObjectInfo(key=key, size=len(data), mtime=mtime)
 
     def get(self, key: str, byte_range: tuple[int, int] | None = None) -> bytes:
+        """Return the object (or an in-bounds byte range of it)."""
         with self._lock:
             try:
                 data, _ = self._objects[key]
@@ -182,6 +225,7 @@ class InMemoryObjectStore(ObjectStore):
             return data[offset : offset + length]
 
     def head(self, key: str) -> ObjectInfo:
+        """Size/mtime metadata without reading payload bytes."""
         with self._lock:
             try:
                 data, mtime = self._objects[key]
@@ -191,6 +235,7 @@ class InMemoryObjectStore(ObjectStore):
             return ObjectInfo(key=key, size=len(data), mtime=mtime)
 
     def list(self, prefix: str = "") -> list[ObjectInfo]:
+        """Key-sorted objects under ``prefix`` (one billed LIST)."""
         with self._lock:
             self._record("LIST", prefix, 0)
             return [
@@ -200,6 +245,7 @@ class InMemoryObjectStore(ObjectStore):
             ]
 
     def delete(self, key: str) -> None:
+        """Drop the object; missing keys are silently ignored (S3-like)."""
         with self._lock:
             self._record("DELETE", key, 0)
             self._objects.pop(key, None)

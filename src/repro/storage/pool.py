@@ -63,6 +63,7 @@ class IOBudget:
     """
 
     def __init__(self, slots: int, *, name: str = "shared") -> None:
+        """Create a budget of ``slots`` concurrent store-touching tasks."""
         if slots < 1:
             raise RottnestIndexError(f"IO budget slots must be >= 1, got {slots}")
         self.slots = slots
@@ -112,6 +113,12 @@ class TracedPool:
         span_name: str = "worker:task",
         budget: IOBudget | None = None,
     ) -> None:
+        """Create a pool of ``workers`` threads over ``store``.
+
+        ``budget`` (optional) wraps every task in a shared
+        :meth:`IOBudget.slot` so several pools can cap their combined
+        concurrency.
+        """
         if workers < 1:
             raise RottnestIndexError(f"workers must be >= 1, got {workers}")
         self.store = store
@@ -124,12 +131,15 @@ class TracedPool:
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
+        """Shut the pool down, waiting for in-flight tasks."""
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "TracedPool":
+        """Context-manager entry: the pool itself."""
         return self
 
     def __exit__(self, *exc) -> None:
+        """Context-manager exit: close the pool."""
         self.close()
 
     # -- fan-out machinery ---------------------------------------------
@@ -148,6 +158,7 @@ class TracedPool:
         budget = self.budget
 
         def run() -> tuple[RequestTrace, T]:
+            """Worker-side body: attach span, trace, run the task."""
             tracer = get_tracer()
             with tracer.attach(parent), tracer.span(span_name) as task_span:
                 if budget is not None:

@@ -58,6 +58,7 @@ class RetryingObjectStore(ObjectStore):
         max_backoff_s: float = 10.0,
         jitter_seed: int | None = 0,
     ) -> None:
+        """Wrap ``inner``; IO accounting is shared with it."""
         super().__init__(inner.clock)
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -116,29 +117,37 @@ class RetryingObjectStore(ObjectStore):
 
     # -- operations ---------------------------------------------------
     def put(self, key: str, data: bytes, *, if_none_match: bool = False) -> ObjectInfo:
+        """PUT with retries; conditional PUTs pass through un-retried."""
         if if_none_match:
             # Not idempotent: a lost response may mean the put landed.
             return self.inner.put(key, data, if_none_match=True)
         return self._retrying(self.inner.put, key, data)
 
     def get(self, key: str, byte_range: tuple[int, int] | None = None) -> bytes:
+        """GET with retries."""
         return self._retrying(self.inner.get, key, byte_range)
 
     def head(self, key: str) -> ObjectInfo:
+        """HEAD with retries."""
         return self._retrying(self.inner.head, key)
 
     def list(self, prefix: str = "") -> list[ObjectInfo]:
+        """LIST with retries."""
         return self._retrying(self.inner.list, prefix)
 
     def delete(self, key: str) -> None:
+        """DELETE with retries (idempotent: missing keys are no-ops)."""
         return self._retrying(self.inner.delete, key)
 
     # -- tracing delegates to the inner store --------------------------
     def start_trace(self):
+        """Delegate trace start to the inner store."""
         return self.inner.start_trace()
 
     def stop_trace(self):
+        """Delegate trace stop to the inner store."""
         return self.inner.stop_trace()
 
     def barrier(self) -> None:
+        """Delegate the trace barrier to the inner store."""
         self.inner.barrier()

@@ -43,9 +43,11 @@ class IOStats:
     bytes_written: int = 0
 
     def __post_init__(self) -> None:
+        """Attach the lock guarding concurrent counter updates."""
         self._lock = threading.Lock()
 
     def record(self, request: Request) -> None:
+        """Bump the counters for one completed request."""
         with self._lock:
             if request.op == "GET":
                 self.gets += 1
@@ -121,10 +123,12 @@ class RequestTrace:
     """
 
     def __init__(self) -> None:
+        """Start with one empty round."""
         self.rounds: list[list[Request]] = [[]]
         self._lock = threading.Lock()
 
     def record(self, request: Request) -> None:
+        """Append one request to the current (open) round."""
         with self._lock:
             self.rounds[-1].append(request)
 
@@ -141,10 +145,12 @@ class RequestTrace:
 
     @property
     def total_requests(self) -> int:
+        """Requests across all rounds (the access *width* sum)."""
         return sum(len(r) for r in self.rounds)
 
     @property
     def total_bytes(self) -> int:
+        """Payload bytes moved across all rounds."""
         return sum(req.nbytes for r in self.rounds for req in r)
 
     def then(self, other: "RequestTrace") -> "RequestTrace":

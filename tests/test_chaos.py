@@ -122,7 +122,16 @@ class TestFaultRuleMatching:
 DOCSTRING_ENFORCED_MODULES = (
     "src/repro/core/maintenance.py",
     "src/repro/core/fsck.py",
+    "src/repro/storage/__init__.py",
+    "src/repro/storage/costs.py",
     "src/repro/storage/faults.py",
+    "src/repro/storage/latency.py",
+    "src/repro/storage/localfs.py",
+    "src/repro/storage/object_store.py",
+    "src/repro/storage/pool.py",
+    "src/repro/storage/retry.py",
+    "src/repro/storage/sched.py",
+    "src/repro/storage/stats.py",
 )
 
 
