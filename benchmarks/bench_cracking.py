@@ -1,0 +1,76 @@
+"""Cracking benchmark: adaptive indexing vs eager-build vs pure lazy.
+
+One seeded run from :mod:`repro.crack.bench`: the same Zipf(1.1) query
+trace plays against three deployments of the same lake — index
+everything up front (eager), never index (lazy), and the cracking
+controller closing the observe→rank→act loop once per tick. Two
+families of numbers land in ``BENCH_cracking.json`` for the regression
+gate:
+
+* **build IO** — bytes moved by maintenance, where cracked must come
+  in at or under eager (it skips the cold tail of the Zipf curve);
+* **hot-query p50** — modeled latency on probes drawn from the hot
+  files after convergence, where cracked must sit within a small
+  factor of fully-eager and well ahead of lazy.
+
+Everything runs on a sim clock from one seed, so the persisted numbers
+are deterministic and ``tests/test_bench_regression.py`` pins them
+against ``benchmarks/baselines/BENCH_cracking.json``. All metric names
+read lower-is-better, matching the gate's direction heuristics.
+"""
+
+from __future__ import annotations
+
+from repro.crack.bench import run_crack_bench
+
+from benchmarks.common import write_bench, write_result
+
+
+def test_cracking_io_and_hot_latency(benchmark):
+    result = benchmark(lambda: run_crack_bench())
+
+    text = (
+        "=== cracking: build IO + hot-query p50 vs eager/lazy (modeled) ===\n"
+        + result.describe()
+    )
+    print(text)
+    write_result("cracking.txt", text)
+
+    write_bench(
+        "cracking",
+        "zipf_adaptive",
+        params={
+            "files": result.files,
+            "rows": result.rows,
+            "ticks": result.ticks,
+            "queries_per_tick": result.queries_per_tick,
+            "zipf_s": result.zipf_s,
+            "seed": result.seed,
+            "p50_budget_ratio": result.p50_budget_ratio,
+        },
+        metrics={
+            "eager_index_io_bytes": result.eager_index_io,
+            "cracked_index_io_bytes": result.cracked_index_io,
+            "index_io_ratio": result.io_ratio,
+            "eager_hot_p50_ms": result.eager_hot_p50_ms,
+            "cracked_hot_p50_ms": result.cracked_hot_p50_ms,
+            "lazy_hot_p50_ms": result.lazy_hot_p50_ms,
+            "hot_p50_ratio": result.hot_p50_ratio,
+            "cracked_indexed_files": result.cracked_indexed_files,
+            "ticks_to_cover": result.ticks_to_cover,
+        },
+    )
+
+    # Acceptance (ISSUE 9): cracked spends no more build IO than eager
+    # on the Zipf(1.1) trace, serves hot queries within the p50 budget
+    # of fully-eager (and strictly ahead of lazy), covers the whole hot
+    # set, and leaves at least one cold file brute-force.
+    assert result.cracked_index_io <= result.eager_index_io
+    assert (
+        result.cracked_hot_p50_ms
+        <= result.p50_budget_ratio * result.eager_hot_p50_ms
+    )
+    assert result.cracked_hot_p50_ms < result.lazy_hot_p50_ms
+    assert result.hot_coverage == 1.0
+    assert result.cold_files >= 1
+    assert result.ok

@@ -125,12 +125,32 @@ CRASH_POINTS: dict[str, str] = {
         "Index-stage commit landed, metadata checkpoint interrupted "
         "— harmless read optimization, as everywhere else."
     ),
+    "crack:put-index-file": (
+        "The cracking controller died after uploading a targeted or "
+        "refined index file, before the metadata commit. Same orphan "
+        "story as index:put-index-file — and both uploads are "
+        "content-addressed, so the recovery tick (planning from the "
+        "same heat map over unchanged metadata) re-uploads the same "
+        "bytes at the same key instead of stacking orphans."
+    ),
+    "crack:put-meta-commit": (
+        "The targeted-index or refinement commit landed; the new "
+        "record is live. A recovery tick re-plans and no-ops: the "
+        "hot files are now covered, and a refined file supersedes "
+        "its source in the newest-first cover, so neither verb is "
+        "proposed again."
+    ),
+    "crack:put-meta-checkpoint": (
+        "Commit landed, metadata checkpoint interrupted — harmless "
+        "read optimization, as everywhere else."
+    ),
 }
 
 #: Verbs that mutate the store (search never does). ``index`` /
 #: ``compact`` / ``vacuum`` are the maintenance protocol; ``ingest``
-#: and ``drain`` are the real-time tier's write path.
-MUTATING_VERBS = ("index", "compact", "vacuum", "ingest", "drain")
+#: and ``drain`` are the real-time tier's write path; ``crack`` is the
+#: query-adaptive controller's tick (targeted index + cell refinement).
+MUTATING_VERBS = ("index", "compact", "vacuum", "ingest", "drain", "crack")
 
 
 def classify_crash_point(verb: str, op: str, key: str) -> str:

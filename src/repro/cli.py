@@ -546,6 +546,35 @@ def cmd_ingest_bench(args) -> int:
     return 0 if result.ok else 2
 
 
+def cmd_crack_bench(args) -> int:
+    """Cracked-vs-eager-vs-lazy comparison on a Zipf workload.
+
+    Runs entirely in memory against a simulated clock (no ``--root``):
+    the same skewed query trace plays against a fully-eager build, a
+    never-indexed lake, and the cracking controller. Exit 0 when the
+    cracked deployment spends no more build IO than eager while keeping
+    hot-query p50 within ``--p50-budget`` of eager's (and ahead of
+    lazy), 2 otherwise, 3 when there is nothing to benchmark.
+    """
+    from repro.crack.bench import run_crack_bench
+
+    if min(args.files, args.rows, args.ticks, args.queries) <= 0:
+        print("error: nothing to benchmark (empty input)", file=sys.stderr)
+        return 3
+    result = run_crack_bench(
+        files=args.files,
+        rows=args.rows,
+        ticks=args.ticks,
+        queries_per_tick=args.queries,
+        zipf_s=args.zipf_s,
+        hotness_floor=args.hotness_floor,
+        p50_budget_ratio=args.p50_budget,
+        seed=args.seed,
+    )
+    print(result.describe())
+    return 0 if result.ok else 2
+
+
 def cmd_info(args) -> int:
     store, lake = _open(args)
     snap = lake.snapshot()
@@ -783,6 +812,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="freshness-lag p99 budget the gate enforces",
     )
     p.set_defaults(func=cmd_ingest_bench)
+
+    p = sub.add_parser(
+        "crack-bench",
+        help="cracked vs eager vs lazy on a Zipf workload (in-memory)",
+    )
+    p.add_argument(
+        "--files", type=int, default=8, help="lake files (Zipf ranks)"
+    )
+    p.add_argument("--rows", type=int, default=200, help="rows per file")
+    p.add_argument(
+        "--ticks", type=int, default=8, help="controller ticks to run"
+    )
+    p.add_argument(
+        "--queries", type=int, default=10, help="queries per tick"
+    )
+    p.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="Zipf skew of the query trace over files",
+    )
+    p.add_argument(
+        "--hotness-floor", type=float, default=6.0,
+        help="decayed heat a file needs before the controller indexes it",
+    )
+    p.add_argument(
+        "--p50-budget", type=float, default=1.3,
+        help="max cracked/eager hot-query p50 ratio the gate allows",
+    )
+    p.add_argument("--seed", type=int, default=23, help="workload seed")
+    p.set_defaults(func=cmd_crack_bench)
 
     def slo_flags(p):
         p.add_argument(

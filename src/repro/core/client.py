@@ -443,7 +443,14 @@ class RottnestClient:
             raise RottnestIndexError(f"k must be >= 1, got {k}")
         tracer = get_tracer()
         with tracer.span(
-            "search", column=column, k=k, engine="client"
+            "search",
+            column=column,
+            k=k,
+            engine="client",
+            # Query kind rides on the root so the cracking heat map can
+            # weigh workloads (a brute-forced vector scan costs far more
+            # than a brute-forced UUID probe).
+            kind=type(query).__name__,
         ) as root:
             # Plan phase is part of the query's latency: reading the
             # metadata table (and the snapshot manifest when not pinned)
@@ -692,6 +699,7 @@ class RottnestClient:
             self.store.start_trace()
             field = snap.schema.field(column)
             matches: list[SearchMatch] = []
+            probed_files: set[str] = set()
             for claimed in per_record_pages:
                 if len(matches) >= k or not claimed:
                     continue
@@ -700,6 +708,7 @@ class RottnestClient:
                 except ObjectStoreError as exc:
                     _raise_unmaterialized(snap, _failed_key(exc, claimed), exc)
                 stats.pages_probed += len(claimed)
+                probed_files.update(entry.file_key for entry in claimed)
                 for entry, (row_start, values) in zip(claimed, payloads):
                     dv = self.lake.deletion_vector(snap, entry.file_key)
                     page_hit = False
@@ -717,6 +726,7 @@ class RottnestClient:
                         break
             # Probing depends on index results; sequential after them.
             page_span.trace = self.store.stop_trace()
+            page_span.set("probed_files", tuple(sorted(probed_files)))
             stats.trace = stats.trace.then(page_span.trace)
 
         # Brute-force the uncovered files only if K is not yet satisfied
@@ -724,8 +734,10 @@ class RottnestClient:
         if len(matches) < k and uncovered:
             with tracer.span("brute_force", phase="brute_force") as brute_span:
                 self.store.start_trace()
+                scanned: list[str] = []
                 for path in sorted(uncovered):
                     stats.files_brute_forced += 1
+                    scanned.append(path)
                     matches.extend(
                         self._brute_force_exact(
                             column, query, snap, path, k - len(matches)
@@ -734,6 +746,7 @@ class RottnestClient:
                     if len(matches) >= k:
                         break
                 brute_span.trace = self.store.stop_trace()
+                brute_span.set("scanned_files", tuple(scanned))
                 stats.trace = stats.trace.then(brute_span.trace)
         return matches[:k]
 
@@ -802,6 +815,7 @@ class RottnestClient:
         candidates: list[tuple[PageEntry, int, float]] = []
         with tracer.span("probe:index", phase="index_probe") as index_span:
             index_trace = RequestTrace()
+            cell_probes: list[tuple[str, tuple[int, ...]]] = []
             for record in chosen:
                 self.store.start_trace()
                 try:
@@ -811,6 +825,9 @@ class RottnestClient:
                     found = querier.candidates(
                         query.vector, nprobe=query.nprobe, limit=query.refine
                     )
+                    probed = getattr(querier, "last_probed_cells", ())
+                    if probed:
+                        cell_probes.append((record.index_key, tuple(probed)))
                     directory = reader.directory
                     for cand in found:
                         entry = directory.locate(cand.gid)
@@ -820,6 +837,7 @@ class RottnestClient:
                     trace = self.store.stop_trace()
                 index_trace = index_trace.merge_parallel(trace)
             index_span.trace = index_trace
+            index_span.set("cell_probes", tuple(cell_probes))
         stats.trace = stats.trace.then(index_trace)
         # Keep the globally best `refine` PQ candidates across indices.
         candidates.sort(key=lambda c: c[2])
@@ -862,12 +880,16 @@ class RottnestClient:
                         )
                     )
             page_span.trace = self.store.stop_trace()
+            page_span.set(
+                "probed_files", tuple(sorted({e.file_key for e in page_entries}))
+            )
             stats.trace = stats.trace.then(page_span.trace)
         # Scoring queries must rank *all* data: unindexed files are
         # scanned exhaustively (paper §IV-B step 3).
         if uncovered:
             with tracer.span("brute_force", phase="brute_force") as brute_span:
                 self.store.start_trace()
+                brute_span.set("scanned_files", tuple(sorted(uncovered)))
                 for path in sorted(uncovered):
                     stats.files_brute_forced += 1
                     dv = self.lake.deletion_vector(snap, path)

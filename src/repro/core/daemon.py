@@ -68,6 +68,9 @@ class TickReport:
     index_aborts: list[str] = field(default_factory=list)
     compacted: list[IndexRecord] = field(default_factory=list)
     vacuum: VacuumReport | None = None
+    refined: list[IndexRecord] = field(default_factory=list)
+    """Index files rewritten in place by cell refinement (the cracking
+    controller's verb; always empty for the schedule-driven daemon)."""
 
     @property
     def idle(self) -> bool:
@@ -75,6 +78,7 @@ class TickReport:
             not self.indexed
             and not self.index_aborts
             and not self.compacted
+            and not self.refined
             and self.vacuum is None
         )
 
@@ -148,31 +152,42 @@ class MaintenanceDaemon:
         return now - self._last_vacuum >= self.policy.vacuum_interval_s
 
     # -- act ------------------------------------------------------------
-    def tick(self) -> TickReport:
-        """Run everything currently due; returns what happened.
+    def run_index(
+        self, column: str, index_type: str, *, snapshot=None, report: TickReport
+    ) -> IndexRecord | None:
+        """One guarded index run, folded into ``report``.
 
-        Index aborts (e.g. too few rows for a vector index yet) are
-        recorded, not raised — the data stays brute-force searchable and
-        a later tick retries.
+        The extension point subclass controllers drive: passing a
+        ``snapshot`` restricted to a subset of the lake's files turns
+        the run into *targeted* indexing (only those files get covered;
+        the rest stay on the brute-force path). Aborts (e.g. too few
+        rows for a vector index yet) are recorded, not raised — the
+        data stays brute-force searchable and a later tick retries.
         """
+        try:
+            record = self.client.index(
+                column,
+                index_type,
+                snapshot=snapshot,
+                params=self.index_params.get((column, index_type)),
+                pool=self._pool,
+            )
+        except IndexAborted as exc:
+            report.index_aborts.append(f"{column}/{index_type}: {exc}")
+            _ACTIONS.inc(action="index_abort")
+            return None
+        if record is not None:
+            report.indexed.append(record)
+            _ACTIONS.inc(action="index")
+        return record
+
+    def tick(self) -> TickReport:
+        """Run everything currently due; returns what happened."""
         report = TickReport()
         with get_tracer().span("daemon.tick") as span:
             for column, index_type in self.targets:
                 if self.index_due(column, index_type):
-                    try:
-                        record = self.client.index(
-                            column,
-                            index_type,
-                            params=self.index_params.get((column, index_type)),
-                            pool=self._pool,
-                        )
-                    except IndexAborted as exc:
-                        report.index_aborts.append(f"{column}/{index_type}: {exc}")
-                        _ACTIONS.inc(action="index_abort")
-                    else:
-                        if record is not None:
-                            report.indexed.append(record)
-                            _ACTIONS.inc(action="index")
+                    self.run_index(column, index_type, report=report)
                 if self.compact_due(column, index_type):
                     compacted = compact_indices(
                         self.client,
@@ -212,6 +227,7 @@ class MaintenanceDaemon:
             len(report.indexed)
             + len(report.index_aborts)
             + len(report.compacted)
+            + len(report.refined)
             + (1 if report.vacuum is not None else 0)
         )
         hub.series("daemon.ticks").observe(1.0, at_s=at_s)
@@ -222,7 +238,7 @@ class MaintenanceDaemon:
         bill = attribute(span)
         request_usd = bill.total_request_cost_usd()
         compute_usd = bill.compute_cost_usd
-        op = "index" if report.indexed else "maintain"
+        op = "index" if (report.indexed or report.refined) else "maintain"
         hub.ledger.record_maintain(op, request_usd, compute_usd, at_s=at_s)
         hub.series("maintain.cost_usd").observe(
             request_usd + compute_usd, at_s=at_s

@@ -1,0 +1,217 @@
+"""Cracking policy: rank candidate index work by expected benefit per IO.
+
+The controller should spend its IO budget where queries actually hurt.
+For every (column, index type) target the policy proposes two kinds of
+work, both priced in dollars-avoided-per-byte-of-build-IO:
+
+* **Targeted indexing** of hot-but-uncovered files. The benefit of
+  covering file *f* is ``heat(f) x brute_cost(f)`` — the per-query
+  dollars a full scan of *f* burns today (priced with the calibrated
+  :class:`~repro.engines.bruteforce.BruteForceModel`, the same model
+  the TCO phase diagrams use) times how often queries touch it. The IO
+  cost is reading the file once to build the index.
+
+* **Cell refinement** of hot IVF-PQ inverted lists. Probes that keep
+  landing in one oversized cell fetch (and PQ-scan) the whole list
+  every time; splitting the cell roughly halves the bytes each future
+  probe touches. The benefit is the compute-dollars of scanning those
+  saved bytes times the cell's probe heat; the IO cost is rewriting the
+  index file (read + write).
+
+Cold scopes — heat below :attr:`CrackingPolicy.hotness_floor` — are
+never proposed: leaving them on the brute-force path *is* the policy,
+that is what makes cracked TCO beat eager indexing under skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.maintenance import covering_records
+from repro.crack.heat import HeatMap
+from repro.engines.bruteforce import BruteForceModel
+from repro.storage.costs import CostModel
+
+#: Index types with a cell-refinement entry point.
+REFINABLE_TYPES = ("ivf_pq",)
+
+
+@dataclass(frozen=True)
+class CrackWork:
+    """One ranked unit of controller work."""
+
+    action: str  # "index" | "refine"
+    column: str
+    index_type: str
+    heat: float
+    benefit_per_io: float  # dollars avoided per byte of build IO
+    files: tuple[str, ...] = ()  # index: hot uncovered file paths
+    index_key: str = ""  # refine: the index file to rewrite
+    cells: tuple[int, ...] = ()  # refine: hot cell ordinals
+
+    def describe(self) -> str:
+        target = (
+            f"{len(self.files)} file(s)"
+            if self.action == "index"
+            else f"{self.index_key} cells {list(self.cells)}"
+        )
+        return (
+            f"{self.action} {self.column}/{self.index_type} {target} "
+            f"heat={self.heat:.2f} benefit/io={self.benefit_per_io:.3g}"
+        )
+
+
+@dataclass(frozen=True)
+class CrackingPolicy:
+    """Tunables for converting a heat map into ranked work."""
+
+    hotness_floor: float = 0.5
+    """File heat below this is cold: stays brute-force, never indexed."""
+
+    refine_min_cell_heat: float = 4.0
+    """Cell probe-heat below this never triggers a split."""
+
+    refine_min_cell_rows: int = 32
+    """Cells with fewer members than this are never split."""
+
+    max_nlist: int = 64
+    """Stop refining an index file once it reaches this many cells."""
+
+    max_actions_per_tick: int = 2
+    """Work items one controller tick may run (bounds tick IO)."""
+
+    scan_workers: int = 1
+    """Worker count the avoided-brute-force cost is priced at."""
+
+    costs: CostModel = field(default_factory=CostModel)
+    brute: BruteForceModel = field(default_factory=BruteForceModel)
+
+    # -- pricing -------------------------------------------------------
+    def _index_benefit_per_io(self, heat: float, nbytes: int) -> float:
+        """Dollars avoided per byte of build IO for covering a file."""
+        avoided = heat * self.brute.cost_per_query(
+            nbytes, self.scan_workers, self.costs
+        )
+        return avoided / max(1, nbytes)
+
+    def _refine_benefit_per_io(
+        self, heat: float, index_bytes: int, distinct_cells: int
+    ) -> float:
+        """Dollars avoided per byte of rewrite IO for splitting cells.
+
+        Lists are roughly equal-sized, so one list is ~``index_bytes /
+        distinct_cells`` (the distinct probed-cell count is a lower
+        bound on nlist); a split halves the bytes each future probe
+        scans. Rewrite IO is read + write of the whole index file.
+        """
+        list_bytes = index_bytes / max(1, distinct_cells)
+        saved_s = (list_bytes / 2.0) / self.brute.scan_rate_bytes_per_s
+        avoided = heat * self.costs.compute_cost(
+            self.brute.instance_type, saved_s
+        )
+        return avoided / max(1, 2 * index_bytes)
+
+    # -- planning ------------------------------------------------------
+    def plan(
+        self,
+        client,
+        heat: HeatMap,
+        targets: list[tuple[str, str]],
+        *,
+        at_s: float,
+    ) -> list[CrackWork]:
+        """Ranked work for one tick, hottest-benefit first.
+
+        Deterministic: ties break on (column, action, identity) so two
+        controllers planning over identical state propose identical
+        work in identical order — the property the crash matrix leans
+        on.
+        """
+        snap = client.lake.snapshot()
+        sizes = {f.path: f.size for f in snap.files}
+        works: list[CrackWork] = []
+        for column, index_type in targets:
+            file_heat = heat.file_heat(at_s=at_s, column=column)
+            covered = client.meta.indexed_files(column, index_type)
+            hot = sorted(
+                path
+                for path, h in file_heat.items()
+                if h >= self.hotness_floor
+                and path in sizes
+                and path not in covered
+            )
+            if hot:
+                # One bundled run per target per tick: a single commit
+                # covering every currently-hot uncovered file keeps the
+                # mutation count (the crash surface) bounded.
+                total_heat = sum(file_heat[p] for p in hot)
+                io = sum(sizes[p] for p in hot)
+                benefit = sum(
+                    self._index_benefit_per_io(file_heat[p], sizes[p])
+                    * sizes[p]
+                    for p in hot
+                )
+                works.append(
+                    CrackWork(
+                        action="index",
+                        column=column,
+                        index_type=index_type,
+                        heat=total_heat,
+                        benefit_per_io=benefit / max(1, io),
+                        files=tuple(hot),
+                    )
+                )
+            if index_type in REFINABLE_TYPES:
+                works.extend(
+                    self._plan_refines(client, heat, column, index_type, at_s)
+                )
+        works.sort(
+            key=lambda w: (
+                -w.benefit_per_io,
+                w.column,
+                w.action,
+                w.files,
+                w.index_key,
+            )
+        )
+        return works
+
+    def _plan_refines(
+        self, client, heat: HeatMap, column: str, index_type: str, at_s: float
+    ) -> list[CrackWork]:
+        cell_heat = heat.cell_heat(at_s=at_s)
+        if not cell_heat:
+            return []
+        live = {
+            r.index_key: r
+            for r in covering_records(client, column, index_type)
+        }
+        by_key: dict[str, dict[int, float]] = {}
+        for (index_key, cell), h in cell_heat.items():
+            if index_key in live:
+                by_key.setdefault(index_key, {})[cell] = h
+        works: list[CrackWork] = []
+        for index_key in sorted(by_key):
+            hot_cells = sorted(
+                c
+                for c, h in by_key[index_key].items()
+                if h >= self.refine_min_cell_heat
+            )
+            if not hot_cells:
+                continue
+            record = live[index_key]
+            total = sum(by_key[index_key][c] for c in hot_cells)
+            works.append(
+                CrackWork(
+                    action="refine",
+                    column=column,
+                    index_type=index_type,
+                    heat=total,
+                    benefit_per_io=self._refine_benefit_per_io(
+                        total, record.size, len(by_key[index_key])
+                    ),
+                    index_key=index_key,
+                    cells=tuple(hot_cells),
+                )
+            )
+        return works

@@ -121,6 +121,12 @@ class ShardUnavailable(ShardError):
     rather than return a partial result."""
 
 
+class CrackError(ReproError):
+    """Invalid input to the query-adaptive (cracking) index controller
+    (``repro.crack``): negative heat weights, malformed heat-map
+    serializations, or unusable policy parameters."""
+
+
 class IngestError(ReproError):
     """Base class for real-time ingest tier (``repro.ingest``) failures."""
 

@@ -208,6 +208,61 @@ class IvfPqBuilder(IndexBuilder):
             seed=0,
         )
 
+    # -- query-adaptive refinement (cracking) -------------------------
+    def refine_cells(
+        self,
+        cells: Iterable[int],
+        *,
+        min_cell_rows: int = 32,
+        seed: int = 0,
+    ) -> int:
+        """Split hot inverted lists in two, in place (index cracking).
+
+        For each requested cell with at least ``min_cell_rows``
+        members, the members are approximately reconstructed (centroid
+        + decoded PQ residual), 2-means re-clusters them, the first
+        child replaces the cell and the second is appended at the end —
+        so untouched lists keep their exact bytes and ordinals, and the
+        lists remain a partition of all indexed vectors (exhaustive
+        probes stay exact). The PQ codebooks are **reused**: only the
+        residuals are re-encoded against the child centroids, which is
+        what makes refinement an incremental per-cell rewrite instead
+        of a full retrain (the streaming-merge economics, applied to
+        one cell at a time).
+
+        Deterministic for a given (input bytes, cells, seed): the
+        2-means seed is derived per cell ordinal, so a crashed-and-
+        retried refinement rebuilds byte-identical output. Returns the
+        number of cells actually split (degenerate cells — too small,
+        out of range, or with coincident members — are skipped).
+        """
+        split = 0
+        for c in sorted({int(c) for c in cells}):
+            if c < 0 or c >= len(self.lists):
+                continue
+            gids, offsets, codes = self.lists[c]
+            if len(gids) < max(2, min_cell_rows):
+                continue
+            vectors = self.pq.decode(codes) + self.centroids[c]
+            children, labels = kmeans(vectors, 2, seed=seed * 1_000_003 + c)
+            if len(children) < 2 or labels.min() == labels.max():
+                continue  # all members coincide; nothing to split
+            halves = []
+            for child in (0, 1):
+                members = np.nonzero(labels == child)[0]
+                residuals = vectors[members] - children[child]
+                halves.append(
+                    (gids[members], offsets[members], self.pq.encode(residuals))
+                )
+            self.centroids[c] = children[0]
+            self.lists[c] = halves[0]
+            self.centroids = np.concatenate(
+                [self.centroids, children[1:2].astype(np.float32)]
+            )
+            self.lists.append(halves[1])
+            split += 1
+        return split
+
     @classmethod
     def merge_streaming(
         cls, parts: Iterable["IvfPqBuilder"], gid_offsets: list[int]
@@ -236,6 +291,10 @@ class IvfPqQuerier(ScoringQuerier):
         self.m: int = reader.params["m"]
         self._centroids: np.ndarray | None = None
         self._pq: ProductQuantizer | None = None
+        #: Cell ordinals the most recent :meth:`candidates` call probed
+        #: — the per-query signal the cracking heat map aggregates to
+        #: decide which inverted lists are worth splitting.
+        self.last_probed_cells: tuple[int, ...] = ()
 
     @property
     def centroids(self) -> np.ndarray:
@@ -264,6 +323,7 @@ class IvfPqQuerier(ScoringQuerier):
         nprobe = max(1, min(nprobe, self.nlist))
         dists = squared_distances(vector.reshape(1, -1), self.centroids).ravel()
         probe = np.argsort(dists)[:nprobe]
+        self.last_probed_cells = tuple(int(c) for c in probe)
         self.reader.barrier()  # list fetches depend on centroid ranking
         names = [f"list{int(c)}" for c in probe] + ["pq"]
         blobs = self.reader.components(names)

@@ -4,12 +4,14 @@ from repro.tco.model import (
     ApproachCost,
     brute_force_cost,
     copy_data_cost,
+    cracked_cost,
     rottnest_cost,
 )
 from repro.tco.phase import (
     PhaseDiagram,
     cheapest_feasible,
     compute_phase_diagram,
+    cracked_phase_diagram,
     feasible,
 )
 from repro.tco.render import describe_boundaries, render
@@ -24,9 +26,11 @@ __all__ = [
     "ApproachCost",
     "copy_data_cost",
     "brute_force_cost",
+    "cracked_cost",
     "rottnest_cost",
     "PhaseDiagram",
     "compute_phase_diagram",
+    "cracked_phase_diagram",
     "cheapest_feasible",
     "feasible",
     "render",

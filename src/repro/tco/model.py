@@ -80,6 +80,58 @@ def brute_force_cost(
     )
 
 
+def cracked_cost(
+    name: str,
+    eager: ApproachCost,
+    brute: ApproachCost,
+    *,
+    hot_coverage: float,
+    hot_query_share: float,
+    latency_s: float | None = None,
+) -> ApproachCost:
+    """Query-adaptive (cracking) deployment, interpolated from its two
+    extremes: a fully-eager indexed system and pure brute force.
+
+    The controller indexes only the hot fraction of the lake, so
+
+    * ``index_cost`` shrinks to ``hot_coverage`` of eager's one-time
+      build (the cold tail is never built);
+    * ``cost_per_month`` carries brute force's storage plus
+      ``hot_coverage`` of the *extra* monthly burn eager pays on top of
+      it (index storage scales with what was actually built);
+    * ``cost_per_query`` is the workload mix: ``hot_query_share`` of
+      queries land on covered files at eager's per-query price, the
+      rest brute-force.
+
+    Both fractions must lie in [0, 1]; the endpoints recover the parent
+    models exactly (coverage/share 1 -> eager, 0 -> brute force).
+    """
+    for label, frac in (
+        ("hot_coverage", hot_coverage),
+        ("hot_query_share", hot_query_share),
+    ):
+        if not 0.0 <= frac <= 1.0:
+            raise TCOError(f"{label} must be in [0, 1], got {frac}")
+    if latency_s is None:
+        latency_s = (
+            hot_query_share * eager.min_latency_s
+            + (1.0 - hot_query_share) * brute.min_latency_s
+        )
+    return ApproachCost(
+        name=name,
+        index_cost=eager.index_cost * hot_coverage,
+        cost_per_month=(
+            brute.cost_per_month
+            + (eager.cost_per_month - brute.cost_per_month) * hot_coverage
+        ),
+        cost_per_query=(
+            hot_query_share * eager.cost_per_query
+            + (1.0 - hot_query_share) * brute.cost_per_query
+        ),
+        min_latency_s=latency_s,
+    )
+
+
 def rottnest_cost(
     name: str,
     index_cost: float,

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import TCOError
-from repro.tco.model import ApproachCost
+from repro.tco.model import ApproachCost, cracked_cost
 
 DEFAULT_MONTHS_RANGE = (0.03, 120.0)  # ~1 day .. 10 years
 DEFAULT_QUERIES_RANGE = (1.0, 1e9)
@@ -141,6 +141,35 @@ def cheapest_feasible(
     if not candidates:
         return None
     return min(candidates, key=lambda a: a.tco(months, queries))
+
+
+def cracked_phase_diagram(
+    eager: ApproachCost,
+    brute: ApproachCost,
+    *,
+    hot_coverage: float,
+    hot_query_share: float,
+    name: str = "cracked",
+    **kwargs,
+) -> PhaseDiagram:
+    """Three-way diagram adding a cracked policy curve to Fig. 7's two.
+
+    The cracked approach is :func:`~repro.tco.model.cracked_cost`
+    derived from the same two extremes it competes with, so the diagram
+    directly shows *where adaptivity pays*: under a skewed workload
+    (``hot_query_share`` near 1 with ``hot_coverage`` well below 1) the
+    cracked region swallows the middle band where eager's up-front
+    build is too dear and brute force's per-query burn is too dear.
+    ``kwargs`` pass through to :func:`compute_phase_diagram`.
+    """
+    cracked = cracked_cost(
+        name,
+        eager,
+        brute,
+        hot_coverage=hot_coverage,
+        hot_query_share=hot_query_share,
+    )
+    return compute_phase_diagram([eager, brute, cracked], **kwargs)
 
 
 def compute_phase_diagram(

@@ -82,7 +82,8 @@ class TestCrashPoints:
         text = (REPO_ROOT / "docs" / "protocol.md").read_text()
         documented = set(
             re.findall(
-                r"`((?:index|compact|vacuum|ingest|drain):[a-z-]+)`", text
+                r"`((?:index|compact|vacuum|ingest|drain|crack):[a-z-]+)`",
+                text,
             )
         )
         assert documented == set(CRASH_POINTS)

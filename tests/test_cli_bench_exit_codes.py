@@ -45,6 +45,36 @@ class TestIngestBenchExitCodes:
         assert "empty input" in capsys.readouterr().err
 
 
+class TestCrackBenchExitCodes:
+    # Small-but-valid knobs: few files, few rows, short trace. The
+    # defaults are tuned to pass, so the pass leg shrinks only mildly.
+    SMALL = ["--files", "6", "--rows", "120", "--ticks", "6"]
+
+    def test_gate_pass_is_zero(self, capsys):
+        assert main(["crack-bench", *self.SMALL]) == 0
+        assert "gate: ok" in capsys.readouterr().out
+
+    def test_gate_miss_is_two(self, capsys):
+        # An impossible p50 budget: cracked can never be 100x faster
+        # than fully-eager on the same hot probes.
+        code = main(["crack-bench", *self.SMALL, "--p50-budget", "0.01"])
+        assert code == 2
+        assert "MISSED" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["crack-bench", "--files", "0"],
+            ["crack-bench", "--rows", "0"],
+            ["crack-bench", "--ticks", "0"],
+            ["crack-bench", "--queries", "0"],
+        ],
+    )
+    def test_empty_input_is_three(self, argv, capsys):
+        assert main(argv) == 3
+        assert "empty input" in capsys.readouterr().err
+
+
 class TestMaintainBenchExitCodes:
     def test_gate_miss_is_two(self, capsys):
         # A single-worker sweep can never clear the 2x speedup gate.

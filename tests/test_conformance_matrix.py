@@ -148,11 +148,33 @@ def state_compacted_vacuumed(w, store, lake, pipe):
     pipe.vacuum(snapshot_id=lake.latest_version())
 
 
+def state_cracked(w, store, lake, pipe):
+    """Half the lake indexed (the "hot" files), the rest brute-force.
+
+    The mid-crack lake state the cracking controller leaves behind:
+    indices cover only the files a skewed workload made hot, so every
+    query plans a mixed indexed-plus-brute execution. No cell
+    refinement here — the recipes must keep the vector workload's
+    ``nprobe=4`` probes exhaustive for the oracle comparison.
+    """
+    for i in range(w.files):
+        lake.append(event_batch(w.rows, seed=i + 1))
+    snap = lake.snapshot()
+    hot = snap.files[: max(1, len(snap.files) // 2)]
+    pipe.index(
+        w.column,
+        w.index_type,
+        snapshot=dataclasses.replace(snap, files=tuple(hot)),
+        params=w.params,
+    )
+
+
 STATES = {
     "unindexed": state_unindexed,
     "indexed": state_indexed,
     "half_compacted": state_half_compacted,
     "compacted_vacuumed": state_compacted_vacuumed,
+    "cracked": state_cracked,
 }
 
 

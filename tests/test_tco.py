@@ -9,9 +9,10 @@ from repro.tco.model import (
     ApproachCost,
     brute_force_cost,
     copy_data_cost,
+    cracked_cost,
     rottnest_cost,
 )
-from repro.tco.phase import compute_phase_diagram
+from repro.tco.phase import compute_phase_diagram, cracked_phase_diagram
 from repro.tco.render import describe_boundaries, render
 from repro.tco.sensitivity import scaled_rottnest, sweep
 
@@ -132,6 +133,68 @@ class TestPhaseDiagram:
         assert w.tco(months, queries) == min(
             a.tco(months, queries) for a in (copy, brute, rott)
         )
+
+
+class TestCrackedCost:
+    def test_endpoints_recover_parents(self, approaches):
+        _, brute, rott = approaches
+        as_eager = cracked_cost(
+            "c", rott, brute, hot_coverage=1.0, hot_query_share=1.0
+        )
+        as_brute = cracked_cost(
+            "c", rott, brute, hot_coverage=0.0, hot_query_share=0.0
+        )
+        for months, queries in ((1, 10), (10, 1e6)):
+            assert as_eager.tco(months, queries) == pytest.approx(
+                rott.tco(months, queries)
+            )
+            assert as_brute.tco(months, queries) == pytest.approx(
+                brute.tco(months, queries)
+            )
+
+    def test_skewed_workload_beats_both_parents(self, approaches):
+        """The cracking bet in TCO terms: pay a fraction of the build,
+        serve most queries at indexed price."""
+        _, brute, rott = approaches
+        cracked = cracked_cost(
+            "c", rott, brute, hot_coverage=0.25, hot_query_share=0.9
+        )
+        assert cracked.index_cost == pytest.approx(rott.index_cost * 0.25)
+        months, queries = 2.0, 400.0
+        assert cracked.tco(months, queries) < rott.tco(months, queries)
+        assert cracked.tco(months, queries) < brute.tco(months, queries)
+
+    def test_fraction_validation(self, approaches):
+        _, brute, rott = approaches
+        for kwargs in (
+            {"hot_coverage": -0.1, "hot_query_share": 0.5},
+            {"hot_coverage": 0.5, "hot_query_share": 1.5},
+        ):
+            with pytest.raises(TCOError):
+                cracked_cost("c", rott, brute, **kwargs)
+
+    def test_latency_defaults_to_workload_mix(self, approaches):
+        _, brute, rott = approaches
+        cracked = cracked_cost(
+            "c", rott, brute, hot_coverage=0.5, hot_query_share=0.75
+        )
+        assert cracked.min_latency_s == pytest.approx(
+            0.75 * rott.min_latency_s + 0.25 * brute.min_latency_s
+        )
+
+    def test_cracked_phase_diagram_owns_a_middle_band(self, approaches):
+        """On a skewed workload the cracked curve wins a region between
+        brute force (few queries) and eager (query-heavy forever)."""
+        _, brute, rott = approaches
+        d = cracked_phase_diagram(
+            rott, brute, hot_coverage=0.25, hot_query_share=0.9
+        )
+        assert d.share("cracked") > 0.0
+        flips = d.boundary(months=2.0)
+        assert any(w == "cracked" for _, _, w in flips)
+        # winner_at agrees with direct TCO comparison at a probed point
+        w = d.winner_at(2.0, 400.0)
+        assert w.name == "cracked"
 
 
 class TestSensitivity:
