@@ -22,6 +22,8 @@ from repro.lake.log import CHECKPOINT_DIR as LAKE_CHECKPOINT_DIR
 from repro.lake.log import LOG_DIR as LAKE_LOG_DIR
 from repro.lake.table import DATA_DIR
 from repro.meta.metadata_table import CHECKPOINT_DIR, META_LOG_DIR
+from repro.obs.flight import FLIGHT_DIR
+from repro.obs.store import SNAPSHOT_DIR
 
 #: Every crash point the protocol can reach, with the §IV-D argument
 #: for why the invariants survive it. Keys are ``verb:boundary``.
@@ -144,13 +146,33 @@ CRASH_POINTS: dict[str, str] = {
         "Commit landed, metadata checkpoint interrupted — harmless "
         "read optimization, as everywhere else."
     ),
+    "obs:put-flight": (
+        "The flight recorder died after uploading a retained trace, "
+        "before persisting the rest. Flight traces are independent, "
+        "content-addressed objects carrying no references — the lake "
+        "invariants never mention them — so a partial persist leaves a "
+        "valid (smaller) retained set. The recovery re-run skips keys "
+        "that already exist and uploads the remainder: convergence is "
+        "byte-identical and a clean re-run makes zero mutations."
+    ),
+    "obs:put-snapshot": (
+        "A telemetry snapshot commit died mid-PUT (the object store "
+        "makes the PUT itself atomic, so 'mid' means before the key "
+        "became durable). Snapshots are self-contained immutable "
+        "payloads keyed by their own content hash: a re-committed "
+        "identical plane hits the same key with the same bytes and "
+        "no-ops; readers folding the snapshot set never observe a "
+        "torn or duplicated entry."
+    ),
 }
 
 #: Verbs that mutate the store (search never does). ``index`` /
 #: ``compact`` / ``vacuum`` are the maintenance protocol; ``ingest``
 #: and ``drain`` are the real-time tier's write path; ``crack`` is the
-#: query-adaptive controller's tick (targeted index + cell refinement).
-MUTATING_VERBS = ("index", "compact", "vacuum", "ingest", "drain", "crack")
+#: query-adaptive controller's tick (targeted index + cell refinement);
+#: ``obs`` is the telemetry plane's durability path (flight-trace
+#: persistence + snapshot commits).
+MUTATING_VERBS = ("index", "compact", "vacuum", "ingest", "drain", "crack", "obs")
 
 
 def classify_crash_point(verb: str, op: str, key: str) -> str:
@@ -188,6 +210,10 @@ def classify_crash_point(verb: str, op: str, key: str) -> str:
         name = f"{verb}:put-lake-checkpoint"
     elif op == "PUT" and f"/{DATA_DIR}/" in key:
         name = f"{verb}:put-data-file"
+    elif op == "PUT" and f"/{FLIGHT_DIR}/" in key:
+        name = f"{verb}:put-flight"
+    elif op == "PUT" and f"/{SNAPSHOT_DIR}/" in key:
+        name = f"{verb}:put-snapshot"
     else:
         name = f"{verb}:unclassified-{op.lower()}"
     return name

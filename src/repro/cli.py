@@ -219,7 +219,23 @@ def cmd_serve_bench(args) -> int:
     )
     query = _build_query(args)
     hub = TelemetryHub()
-    with use_hub(hub), server:
+    recorder = None
+    if args.flight:
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.slo import default_slo
+
+        recorder = FlightRecorder(
+            store,
+            root=args.obs,
+            slo=default_slo(
+                latency_p99_s=args.latency_p99_s,
+                availability=args.availability,
+                cost_usd_per_query=args.cost_per_query,
+            ),
+        )
+    from repro.obs.flight import use_flight_recorder
+
+    with use_hub(hub), use_flight_recorder(recorder), server:
         if args.warmup:
             warmed = server.warmup()
             print(f"warmed {warmed} index file(s)", file=sys.stderr)
@@ -256,21 +272,47 @@ def cmd_serve_bench(args) -> int:
             hub.ledger.set_storage(
                 data_bytes=snap.total_bytes, index_bytes=index_bytes
             )
+    if recorder is not None:
+        from repro.obs import get_registry
+        from repro.obs.store import SnapshotStore
+
+        persisted = recorder.persist()
+        snapshots = SnapshotStore(store, root=args.obs)
+        key = snapshots.commit(
+            hub,
+            registry=get_registry(),
+            source="serve-bench",
+            flights=[t.trace_id for t in recorder.traces()],
+        )
+        print(
+            f"# flight recorder: {recorder.observed} observed, "
+            f"{len(recorder)} retained, {persisted} persisted; "
+            f"snapshot {key}",
+            file=sys.stderr,
+        )
     if args.telemetry:
         write_telemetry_json(args.telemetry, hub, source="serve-bench")
         print(f"# telemetry written to {args.telemetry}", file=sys.stderr)
     if args.dashboard:
         from repro.obs import write_dashboard
 
-        write_dashboard(args.dashboard, hub, source="serve-bench")
+        write_dashboard(
+            args.dashboard, hub, source="serve-bench", flights=recorder
+        )
         print(f"# dashboard written to {args.dashboard}", file=sys.stderr)
     return 0
 
 
 def cmd_dashboard(args) -> int:
-    """Render the telemetry dashboard HTML from a snapshot file."""
-    from repro.obs import load_telemetry_json, write_dashboard
+    """Render the telemetry dashboard HTML from a snapshot file.
+
+    With ``--root`` the durable telemetry plane joins in: retained
+    flight traces (exemplar links), the folded crack heat map, and the
+    snapshot history for the cross-run trend panel.
+    """
+    from repro.obs import load_flights, load_telemetry_json, write_dashboard
     from repro.obs.slo import default_slo
+    from repro.obs.store import SnapshotStore
 
     hub = load_telemetry_json(args.telemetry)
     slo = default_slo(
@@ -278,10 +320,161 @@ def cmd_dashboard(args) -> int:
         availability=args.availability,
         cost_usd_per_query=args.cost_per_query,
     )
+    flights = heat = history = None
+    if args.root:
+        from repro.crack.heat import HeatMap
+
+        store = LocalFSObjectStore(args.root)
+        flights = load_flights(store, root=args.obs)
+        history = SnapshotStore(store, root=args.obs).snapshots()
+        folded_heat = None
+        for payload in history:
+            if payload.get("heat"):
+                piece = HeatMap.from_dict(payload["heat"])
+                folded_heat = (
+                    piece if folded_heat is None else folded_heat.merge(piece)
+                )
+        heat = folded_heat
     write_dashboard(
-        args.out, hub, slo=slo, source=args.telemetry, title=args.title
+        args.out,
+        hub,
+        slo=slo,
+        source=args.telemetry,
+        title=args.title,
+        flights=flights,
+        heat=heat,
+        history=history,
     )
     print(f"dashboard written to {args.out}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Dump the process metrics registry in Prometheus text format.
+
+    With ``--root``/``--table`` the lake is opened first (and the
+    index metadata replayed when ``--index-dir`` is given), so the
+    storage-layer instruments have something to say; without them the
+    command renders whatever this process already recorded. Exits 3
+    when no instrument holds a single sample.
+    """
+    from repro.obs import get_registry
+
+    if args.root and args.table:
+        store, table = _open(args)
+        table.snapshot()
+        if args.index_dir:
+            client = RottnestClient(store, args.index_dir, table)
+            client.meta.records()
+    registry = get_registry()
+    if not any(data["series"] for data in registry.snapshot().values()):
+        print("error: empty input — no metric samples recorded", file=sys.stderr)
+        return 3
+    print(registry.render(), end="")
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live-ops summary: burn rates, counters, slowest retained traces.
+
+    The hub comes from ``--telemetry`` (a ``TELEMETRY_*.json`` file)
+    or, with ``--root``, from folding the durable snapshot store;
+    retained flight traces come from the store. Exits 3 when there is
+    neither telemetry nor a single retained trace.
+    """
+    from repro.obs import load_flights, load_telemetry_json
+    from repro.obs.slo import default_slo
+    from repro.obs.store import SnapshotStore
+
+    hub = None
+    flights = []
+    if args.telemetry:
+        hub = load_telemetry_json(args.telemetry)
+    if args.root:
+        store = LocalFSObjectStore(args.root)
+        if hub is None:
+            hub = SnapshotStore(store, root=args.obs).folded_hub()
+        flights = load_flights(store, root=args.obs)
+    if hub is None and not flights:
+        print(
+            "error: empty input — no telemetry snapshot and no retained "
+            "flight traces",
+            file=sys.stderr,
+        )
+        return 3
+    if hub is not None:
+        slo = default_slo(
+            latency_p99_s=args.latency_p99_s,
+            availability=args.availability,
+            cost_usd_per_query=args.cost_per_query,
+        )
+        report = slo.evaluate(hub)
+        print("== burn rates ==")
+        for status in report.statuses:
+            marker = "ok    " if status.ok else "BREACH"
+            print(
+                f"{marker} {status.name:<16} long {status.burn.long_burn:6.2f}"
+                f"  short {status.burn.short_burn:6.2f}  {status.detail}"
+            )
+        merged = hub.quantiles("serve.latency_s").merged()
+        print("== counters ==")
+        print(f"queries    {hub.series('serve.queries').count()}")
+        print(f"degraded   {hub.series('serve.degraded').count()}")
+        print(f"hedges     {hub.series('router.hedges').count()}")
+        print(f"hedge wins {hub.series('router.hedge_wins').count()}")
+        if merged.count:
+            print(f"p50        {merged.quantile(0.5) * 1000:.2f} ms")
+            print(f"p99        {merged.quantile(0.99) * 1000:.2f} ms")
+    if flights:
+        flights.sort(key=lambda f: (-f.latency_s, f.trace_id))
+        print(f"== slowest retained traces ({len(flights)}) ==")
+        for flight in flights[: args.limit]:
+            print(flight.describe())
+    elif args.root:
+        print("no retained flight traces")
+    return 0
+
+
+def cmd_traces(args) -> int:
+    """Render one retained flight trace: span tree, critical path, bill."""
+    from repro.obs import load_flight, render_timeline
+
+    store = LocalFSObjectStore(args.root)
+    flight = load_flight(store, args.trace_id, root=args.obs)
+    print(
+        f"trace {flight.trace_id}  reason={flight.reason}  "
+        f"{flight.latency_s * 1000:.2f} ms  slow_phase="
+        f"{flight.slow_phase or '-'}  query={flight.query}"
+    )
+    print()
+    print(render_timeline(flight.root()))
+    if flight.critical_path:
+        print("critical path:")
+        for step in flight.critical_path:
+            phase = f" [{step['phase']}]" if step.get("phase") else ""
+            print(
+                f"  {step['name']:<28}{phase:<14} "
+                f"self {step['self_s'] * 1000:8.2f} ms  "
+                f"total {step['duration_s'] * 1000:8.2f} ms  "
+                f"{step['requests']} req"
+            )
+    if flight.bill is not None:
+        bill = flight.bill
+        total = float(bill["request_cost_usd"]) + float(
+            bill["compute_cost_usd"]
+        )
+        print(
+            f"bill: ${total:.3e} total (requests "
+            f"${float(bill['request_cost_usd']):.3e}, compute "
+            f"${float(bill['compute_cost_usd']):.3e}); "
+            f"{bill['requests']} requests, {bill['bytes_read']} bytes read"
+        )
+        for phase in bill["phases"]:
+            print(
+                f"  {phase['phase']:<14} {phase['est_latency_s'] * 1000:8.2f}"
+                f" ms  {phase['requests']:4d} req  "
+                f"${float(phase['request_cost_usd']) + float(phase['compute_cost_usd']):.3e}"
+            )
     return 0
 
 
@@ -611,6 +804,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="Rottnest index root key",
         )
 
+    def slo_flags(p):
+        p.add_argument(
+            "--latency-p99-s", type=float, default=1.0,
+            help="p99 modeled-latency objective in seconds",
+        )
+        p.add_argument(
+            "--availability", type=float, default=0.999,
+            help="fraction of queries that must complete undegraded",
+        )
+        p.add_argument(
+            "--cost-per-query", type=float, default=5e-3,
+            help="observed serve dollars per query budget",
+        )
+
     p = sub.add_parser("create-table", help="create an empty lake table")
     p.add_argument("--root", required=True)
     p.add_argument("--table", required=True)
@@ -682,6 +889,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--dashboard",
         help="also render the HTML dashboard for this run here",
     )
+    p.add_argument(
+        "--flight", action="store_true",
+        help="run the tail-sampling flight recorder and persist retained "
+        "traces + a telemetry snapshot into the bucket",
+    )
+    p.add_argument(
+        "--obs", default="obs",
+        help="root key for durable telemetry (flights + snapshots)",
+    )
+    slo_flags(p)
     p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser(
@@ -842,20 +1059,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=23, help="workload seed")
     p.set_defaults(func=cmd_crack_bench)
 
-    def slo_flags(p):
-        p.add_argument(
-            "--latency-p99-s", type=float, default=1.0,
-            help="p99 modeled-latency objective in seconds",
-        )
-        p.add_argument(
-            "--availability", type=float, default=0.999,
-            help="fraction of queries that must complete undegraded",
-        )
-        p.add_argument(
-            "--cost-per-query", type=float, default=5e-3,
-            help="observed serve dollars per query budget",
-        )
-
     p = sub.add_parser(
         "dashboard",
         help="render the telemetry dashboard HTML from a snapshot",
@@ -866,8 +1069,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", required=True, help="output HTML path")
     p.add_argument("--title", default="Rottnest deployment dashboard")
+    p.add_argument(
+        "--root",
+        help="bucket directory holding durable telemetry (adds the "
+        "retained-traces, heat-map, and cross-run trend panels)",
+    )
+    p.add_argument(
+        "--obs", default="obs",
+        help="root key for durable telemetry (flights + snapshots)",
+    )
     slo_flags(p)
     p.set_defaults(func=cmd_dashboard)
+
+    p = sub.add_parser(
+        "metrics",
+        help="dump the process metrics registry as Prometheus text "
+        "(exit 3 when no samples)",
+    )
+    p.add_argument("--root", help="bucket directory (opens the lake first)")
+    p.add_argument("--table", help="table root key")
+    p.add_argument("--index-dir", help="Rottnest index root key")
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "top",
+        help="live-ops summary: SLO burn rates, counters, slowest "
+        "retained traces (exit 3 when empty)",
+    )
+    p.add_argument(
+        "--telemetry",
+        help="TELEMETRY_*.json snapshot (serve-bench --telemetry)",
+    )
+    p.add_argument(
+        "--root",
+        help="bucket directory holding durable telemetry",
+    )
+    p.add_argument(
+        "--obs", default="obs",
+        help="root key for durable telemetry (flights + snapshots)",
+    )
+    p.add_argument("--limit", type=int, default=10, help="traces to show")
+    slo_flags(p)
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "traces",
+        help="render one retained flight trace (span tree + cost bill)",
+    )
+    p.add_argument("trace_id", help="trace id or unique prefix")
+    p.add_argument("--root", required=True, help="bucket directory")
+    p.add_argument(
+        "--obs", default="obs",
+        help="root key for durable telemetry (flights + snapshots)",
+    )
+    p.set_defaults(func=cmd_traces)
 
     p = sub.add_parser(
         "slo-check",

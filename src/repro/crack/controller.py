@@ -133,6 +133,7 @@ class CrackController(MaintenanceDaemon):
         workers: int = 1,
         budget=None,
         refine_seed: int = 0,
+        snapshots=None,
     ) -> None:
         super().__init__(
             client,
@@ -144,6 +145,12 @@ class CrackController(MaintenanceDaemon):
         self.cracking = cracking or CrackingPolicy()
         self.heat = heat if heat is not None else HeatMap()
         self.refine_seed = refine_seed
+        #: Optional :class:`~repro.obs.store.SnapshotStore`. When set,
+        #: every tick spills the heat map into a durable telemetry
+        #: snapshot so dashboards (and later runs) can fold it. The
+        #: chaos matrices pass ``None``: snapshot commits are ``obs``
+        #: mutations, not part of the ``crack`` verb's boundary set.
+        self.snapshots = snapshots
 
     # -- observe -------------------------------------------------------
     def observe(self, spans: list[Span]) -> int:
@@ -210,6 +217,10 @@ class CrackController(MaintenanceDaemon):
             float(len(self.heat)), at_s=at_s
         )
         self._record_telemetry(span, report)
+        if self.snapshots is not None:
+            self.snapshots.commit(
+                get_hub(), heat=self.heat, source="crack", at_s=at_s
+            )
         return report
 
     def _run_targeted_index(self, work, report: TickReport) -> None:

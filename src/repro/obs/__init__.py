@@ -26,7 +26,16 @@ first-class telemetry to prove any perf claim against:
   deployment's measured position on the TCO phase diagram;
 * :mod:`repro.obs.export` — JSONL span dumps, text timelines, the
   stable ``BENCH_*.json`` schema benchmarks emit, and the
-  ``TELEMETRY_*.json`` hub snapshots the SLO gate evaluates.
+  ``TELEMETRY_*.json`` hub snapshots the SLO gate evaluates;
+* :mod:`repro.obs.flight` — the tail-sampling flight recorder: a
+  bounded ring of *complete span trees* for exactly the queries worth
+  debugging (errors, SLO breaches, latencies above a live p99), each
+  persisted content-addressed through the :class:`ObjectStore`
+  (``repro traces <id>`` renders one with its cost bill);
+* :mod:`repro.obs.store` — durable, mergeable telemetry snapshots
+  (hub series + metrics registry + crack heat map + SLO verdicts)
+  whose fold is commutative and associative, so dashboards gain a
+  cross-process, cross-run time-travel axis.
 
 Any later PR claiming a speedup demonstrates it through this module:
 ``repro profile`` for one query, ``BENCH_*.json`` for the trajectory,
@@ -60,11 +69,24 @@ from repro.obs.export import (
     load_telemetry_json,
     render_timeline,
     span_to_dict,
+    span_tree_from_dicts,
     spans_to_jsonl,
     update_bench_json,
     validate_bench,
     write_spans_jsonl,
     write_telemetry_json,
+)
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    FlightTrace,
+    flight_key,
+    get_flight_recorder,
+    list_flights,
+    load_flight,
+    load_flights,
+    set_flight_recorder,
+    use_flight_recorder,
 )
 from repro.obs.metrics import (
     Counter,
@@ -80,6 +102,15 @@ from repro.obs.slo import (
     LatencyObjective,
     SLOReport,
     default_slo,
+)
+from repro.obs.store import (
+    SNAPSHOT_SCHEMA,
+    SnapshotStore,
+    fold_snapshots,
+    merge_metrics,
+    snapshot_key,
+    snapshot_payload,
+    validate_snapshot,
 )
 from repro.obs.timeseries import (
     CostLedger,
@@ -102,12 +133,16 @@ from repro.obs.trace import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "FLIGHT_SCHEMA",
+    "SNAPSHOT_SCHEMA",
     "TELEMETRY_SCHEMA",
     "AvailabilityObjective",
     "CostLedger",
     "CostObjective",
     "Counter",
     "CriticalStep",
+    "FlightRecorder",
+    "FlightTrace",
     "Gauge",
     "Histogram",
     "LatencyObjective",
@@ -118,6 +153,7 @@ __all__ = [
     "QueryBill",
     "SLO",
     "SLOReport",
+    "SnapshotStore",
     "Span",
     "SpanEvent",
     "TailRecorder",
@@ -130,24 +166,37 @@ __all__ = [
     "attribute",
     "critical_path",
     "default_slo",
+    "flight_key",
+    "fold_snapshots",
+    "get_flight_recorder",
     "get_hub",
     "get_registry",
     "get_tracer",
+    "list_flights",
+    "load_flight",
+    "load_flights",
     "load_telemetry_json",
     "measured_deployment",
+    "merge_metrics",
     "price_iostats",
     "render_critical_path",
     "render_dashboard",
     "render_timeline",
+    "set_flight_recorder",
     "set_hub",
     "set_tracer",
+    "snapshot_key",
+    "snapshot_payload",
     "span_to_dict",
+    "span_tree_from_dicts",
     "spans_to_jsonl",
     "tail_attribution",
     "update_bench_json",
+    "use_flight_recorder",
     "use_hub",
     "use_tracer",
     "validate_bench",
+    "validate_snapshot",
     "write_dashboard",
     "write_spans_jsonl",
     "write_telemetry_json",

@@ -183,6 +183,29 @@ class TailRecorder:
         with self._lock:
             return list(self._samples)
 
+    def merge(self, other: "TailRecorder") -> "TailRecorder":
+        """Fold a peer recorder in: sorted sample union, newest kept.
+
+        Samples are re-sorted by (time, latency, query) — a total order
+        over their content — then truncated to the larger of the two
+        capacities, so the merged ring is independent of merge order
+        (the snapshot-fold commutativity property). Returns ``self``.
+        """
+        merged = self.samples() + other.samples()
+        merged.sort(
+            key=lambda s: (
+                s.at_s,
+                s.total_s,
+                s.query,
+                s.degraded,
+                sorted(s.phase_s.items()),
+            )
+        )
+        with self._lock:
+            self.capacity = max(self.capacity, other.capacity)
+            self._samples = deque(merged, maxlen=self.capacity)
+        return self
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._samples)

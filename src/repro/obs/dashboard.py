@@ -13,6 +13,14 @@ server and opened anywhere. Sections:
 * when the hub holds ``router.*`` series, a scatter-gather router panel
   (routed queries, hedge counts, per-shard latency/failure table);
 * SLO status (each objective with its two-horizon burn rates);
+* when a flight-recorder ring is passed in, a **retained traces** panel
+  whose rows anchor the p99 stat tile's exemplar link — the dashboard's
+  p99 is one click away from the span tree that produced it;
+* when a crack heat map is passed in, the top-N hottest files/cells
+  with their decay age;
+* when prior snapshot payloads are passed in (``history``), a
+  cross-run trend panel — p99 and cost-per-query per snapshot — giving
+  the TCO story a time-travel axis;
 * the centerpiece: the deployment's **measured position and
   trajectory on the TCO phase diagram**. The cost ledger's observed
   serve/maintain/index dollars are folded into an
@@ -433,31 +441,52 @@ _CSS = """
 .viz-root .slo-ok { color: var(--status-good); font-weight: 600; }
 .viz-root .slo-bad { color: var(--status-critical); font-weight: 600; }
 .viz-root .muted { color: var(--muted); font-size: 13px; }
+.viz-root a.exemplar { color: var(--series-1); text-decoration: underline
+  dotted; }
+.viz-root tr:target td { background: var(--grid); }
 .viz-root details summary { cursor: pointer; color: var(--text-secondary);
   font-size: 12px; margin-top: 8px; }
 """
 
 
-def _stat_tiles(hub: TelemetryHub) -> str:
+def _stat_tiles(hub: TelemetryHub, flight_ids: frozenset[str]) -> str:
     ledger = hub.ledger
     merged = hub.quantiles("serve.latency_s").merged()
     queries = hub.series("serve.queries").count()
     degraded = hub.series("serve.degraded").count()
     availability = 1.0 - degraded / queries if queries else 1.0
+    p99_value = _fmt_ms(merged.quantile(0.99)) if merged.count else "—"
+    # The exemplar link: when the sketch's worst observation carries a
+    # trace id that the flight recorder retained, the p99 tile links
+    # straight to that trace's row in the retained-traces panel.
+    p99_html = _esc(p99_value)
+    if merged.exemplar is not None and merged.exemplar[1] in flight_ids:
+        p99_html = (
+            f"<a class='exemplar' href='#flight-{_esc(merged.exemplar[1])}' "
+            f"title='open retained trace {_esc(merged.exemplar[1])}'>"
+            f"{p99_html}</a>"
+        )
     tiles = [
-        ("queries served", f"{queries}"),
-        ("p50 latency", _fmt_ms(merged.quantile(0.5)) if merged.count else "—"),
-        ("p99 latency", _fmt_ms(merged.quantile(0.99)) if merged.count else "—"),
-        ("availability", f"{availability:.3%}"),
+        ("queries served", _esc(f"{queries}")),
+        (
+            "p50 latency",
+            _esc(_fmt_ms(merged.quantile(0.5)) if merged.count else "—"),
+        ),
+        ("p99 latency", p99_html),
+        ("availability", _esc(f"{availability:.3%}")),
         (
             "cost / query",
-            f"${ledger.cost_per_query_usd:.3e}" if ledger.serve_queries else "—",
+            _esc(
+                f"${ledger.cost_per_query_usd:.3e}"
+                if ledger.serve_queries
+                else "—"
+            ),
         ),
-        ("maintenance $", f"${ledger.maintain_usd:.3e}"),
-        ("index build $", f"${ledger.index_build_usd:.3e}"),
+        ("maintenance $", _esc(f"${ledger.maintain_usd:.3e}")),
+        ("index build $", _esc(f"${ledger.index_build_usd:.3e}")),
     ]
     body = "".join(
-        f"<div class='tile'><div class='value'>{_esc(value)}</div>"
+        f"<div class='tile'><div class='value'>{value}</div>"
         f"<div class='label'>{_esc(label)}</div></div>"
         for label, value in tiles
     )
@@ -675,6 +704,145 @@ def _ingest_section(hub: TelemetryHub) -> str:
     )
 
 
+def _flight_section(flights) -> str:
+    """Retained traces panel — the flight recorder's ring, slowest
+    first. Each row carries an ``id='flight-<trace_id>'`` anchor so
+    exemplar links (the p99 stat tile, sketch tooltips) land on it.
+    Rendered only when a recorder/flight list was passed in.
+    """
+    flights = list(flights or ())
+    if not flights:
+        return ""
+    flights.sort(key=lambda f: (-f.latency_s, f.trace_id))
+    rows = []
+    for flight in flights:
+        cost = "—"
+        if flight.bill is not None:
+            total = float(flight.bill["request_cost_usd"]) + float(
+                flight.bill["compute_cost_usd"]
+            )
+            cost = f"${total:.3e}"
+        rows.append(
+            f"<tr id='flight-{_esc(flight.trace_id)}'>"
+            f"<td><code>{_esc(flight.trace_id)}</code></td>"
+            f"<td>{_esc(flight.reason)}</td>"
+            f"<td>{flight.latency_s * 1000:.2f}</td>"
+            f"<td>{_esc(flight.slow_phase or '—')}</td>"
+            f"<td>{_esc(flight.query or '—')}</td>"
+            f"<td>{_esc(cost)}</td></tr>"
+        )
+    return (
+        "<section><h2>Retained traces (flight recorder)</h2>"
+        "<p class='sub'>tail-sampled complete span trees — errors, SLO "
+        "breaches, and latencies above the live tail threshold; render "
+        "one with <code>repro traces &lt;id&gt;</code></p>"
+        "<table><tr><th>trace</th><th>reason</th><th>latency ms</th>"
+        "<th>slow phase</th><th>query</th><th>cost</th></tr>"
+        f"{''.join(rows)}</table></section>"
+    )
+
+
+def _heat_section(heat, *, limit: int = 12) -> str:
+    """Crack heat-map panel: the top-``limit`` hottest files/cells.
+
+    Decay age is measured against the map's freshest observation, so
+    the panel is self-contained (no clock needed) and deterministic.
+    Rendered only when a heat map was passed in and is non-empty.
+    """
+    if heat is None or not len(heat):
+        return ""
+    data = heat.to_dict()
+    stamps = {
+        (scope, column, kind): float(stamp)
+        for scope, column, kind, _value, stamp in data["cells"]
+    }
+    newest = max(stamps.values())
+    rows = []
+    for key, hotness in heat.hottest(at_s=newest, limit=limit):
+        age_s = newest - stamps[(key.scope, key.column, key.kind)]
+        rows.append(
+            f"<tr><td><code>{_esc(key.scope)}</code></td>"
+            f"<td>{_esc(key.column)}</td><td>{_esc(key.kind)}</td>"
+            f"<td>{hotness:.3f}</td><td>{age_s:.0f}</td></tr>"
+        )
+    return (
+        "<section><h2>Crack heat map</h2>"
+        f"<p class='sub'>top {len(rows)} of {len(heat)} heat cells by "
+        "decayed hotness — what the cracking controller will act on "
+        "next (age relative to the freshest observation)</p>"
+        "<table><tr><th>scope</th><th>column</th><th>kind</th>"
+        "<th>heat</th><th>age s</th></tr>"
+        f"{''.join(rows)}</table></section>"
+    )
+
+
+def _trend_section(history) -> str:
+    """Cross-run trends from durable snapshot payloads.
+
+    ``history`` is a chronology of snapshot payloads (one per commit,
+    e.g. ``SnapshotStore.snapshots()``): each becomes one point of p99
+    latency and cost-per-query, turning the dashboard's headline
+    numbers into a trajectory across processes and runs.
+    """
+    history = list(history or ())
+    if not history:
+        return ""
+    points = []
+    for payload in sorted(
+        history, key=lambda p: (p.get("at_s", 0.0), p.get("sources", []))
+    ):
+        if not payload.get("hub"):
+            continue
+        hub = TelemetryHub.from_snapshot(payload["hub"])
+        merged = hub.quantiles("serve.latency_s").merged()
+        p99_ms = merged.quantile(0.99) * 1000 if merged.count else None
+        cpq = (
+            hub.ledger.cost_per_query_usd
+            if hub.ledger.serve_queries
+            else None
+        )
+        points.append(
+            (
+                payload.get("at_s", 0.0),
+                ", ".join(payload.get("sources", [])) or "—",
+                hub.series("serve.queries").count(),
+                p99_ms,
+                cpq,
+            )
+        )
+    if not points:
+        return ""
+    p99_pts = [
+        (float(i), p99) for i, (_, _, _, p99, _) in enumerate(points)
+        if p99 is not None
+    ]
+    chart = (
+        _line_chart(
+            [("p99 (ms)", "--series-2", p99_pts)],
+            y_label="p99 latency (ms)",
+            x_label="snapshot (chronological)",
+        )
+        if p99_pts
+        else ""
+    )
+    rows = "".join(
+        f"<tr><td>{i}</td><td>{_esc(src)}</td><td>{at_s:.0f}</td>"
+        f"<td>{queries}</td>"
+        f"<td>{f'{p99:.1f}' if p99 is not None else '—'}</td>"
+        f"<td>{f'${cpq:.3e}' if cpq is not None else '—'}</td></tr>"
+        for i, (at_s, src, queries, p99, cpq) in enumerate(points)
+    )
+    return (
+        "<section><h2>Cross-run trends (snapshot store)</h2>"
+        "<p class='sub'>each point is one durable telemetry snapshot — "
+        "this run plotted against prior runs and processes</p>"
+        f"{chart}"
+        "<table><tr><th>#</th><th>sources</th><th>at s</th>"
+        "<th>queries</th><th>p99 ms</th><th>cost/query</th></tr>"
+        f"{rows}</table></section>"
+    )
+
+
 def _slo_section(report: SLOReport) -> str:
     rows = []
     for status in report.statuses:
@@ -736,21 +904,38 @@ def render_dashboard(
     costs: CostModel | None = None,
     source: str = "",
     title: str = "Rottnest deployment dashboard",
+    flights=None,
+    heat=None,
+    history=None,
 ) -> str:
-    """The full self-contained HTML document for one hub."""
+    """The full self-contained HTML document for one hub.
+
+    ``flights`` (an iterable of :class:`~repro.obs.flight.FlightTrace`
+    or a :class:`~repro.obs.flight.FlightRecorder`), ``heat`` (a
+    :class:`~repro.crack.heat.HeatMap`) and ``history`` (snapshot
+    payloads, e.g. ``SnapshotStore.snapshots()``) are optional; their
+    sections render only when data is present.
+    """
     slo = slo or default_slo()
     slo_report = slo.evaluate(hub)
     tail_report = tail_attribution(hub.tail.samples())
     source_line = f" — source: {_esc(source)}" if source else ""
+    if flights is not None and hasattr(flights, "traces"):
+        flights = flights.traces()
+    flight_list = list(flights or ())
+    flight_ids = frozenset(f.trace_id for f in flight_list)
     sections = "".join(
         [
-            _stat_tiles(hub),
+            _stat_tiles(hub, flight_ids),
             _slo_section(slo_report),
             _latency_section(hub),
+            _flight_section(flight_list),
             _router_section(hub),
             _ingest_section(hub),
             _rate_section(hub),
             _tail_section(tail_report),
+            _heat_section(heat),
+            _trend_section(history),
             _tco_section(hub, costs),
         ]
     )
@@ -776,10 +961,20 @@ def write_dashboard(
     costs: CostModel | None = None,
     source: str = "",
     title: str = "Rottnest deployment dashboard",
+    flights=None,
+    heat=None,
+    history=None,
 ) -> str:
     """Render and write the dashboard; returns ``path``."""
     document = render_dashboard(
-        hub, slo=slo, costs=costs, source=source, title=title
+        hub,
+        slo=slo,
+        costs=costs,
+        source=source,
+        title=title,
+        flights=flights,
+        heat=heat,
+        history=history,
     )
     with open(path, "w") as f:
         f.write(document)

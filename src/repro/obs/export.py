@@ -76,6 +76,56 @@ def span_to_dict(span: Span) -> dict:
     return out
 
 
+def span_tree_from_dicts(rows: Iterable[dict]) -> Span:
+    """Rebuild one span tree from :func:`span_to_dict` rows.
+
+    The inverse the flight recorder needs: a retained trace is stored
+    as flat rows and must come back as a tree :func:`render_timeline`
+    and :func:`~repro.obs.critical_path.critical_path` can walk. Rows
+    must contain exactly one root (``parent_id is None``) and parents
+    must precede children (the depth-first order ``spans_to_jsonl``
+    writes). The attached per-phase ``RequestTrace`` objects do not
+    round-trip — only their event rows and summary counts do — so
+    rebuilt spans carry ``trace=None``.
+    """
+    from repro.obs.trace import SpanEvent
+
+    by_id: dict[int, Span] = {}
+    root: Span | None = None
+    for row in rows:
+        parent_id = row.get("parent_id")
+        parent = by_id.get(parent_id) if parent_id is not None else None
+        span = Span(
+            str(row["name"]),
+            parent=parent,
+            start_s=float(row["start_s"]),
+        )
+        span.span_id = int(row["span_id"])
+        if row.get("end_s") is not None:
+            span.end_s = float(row["end_s"])
+        span.attributes = dict(row.get("attributes", {}))
+        span.thread = str(row.get("thread", ""))
+        span.events = [
+            SpanEvent(
+                op=str(e["op"]),
+                key=str(e["key"]),
+                nbytes=int(e["nbytes"]),
+                at_s=float(e["at_s"]),
+            )
+            for e in row.get("events", [])
+        ]
+        if parent is not None:
+            parent.children.append(span)
+        elif root is not None:
+            raise ValueError("span rows contain more than one root")
+        else:
+            root = span
+        by_id[span.span_id] = span
+    if root is None:
+        raise ValueError("span rows contain no root span")
+    return root
+
+
 def spans_to_jsonl(roots: Iterable[Span]) -> str:
     """Flattened depth-first JSONL dump of one or more span trees."""
     lines = [

@@ -1,0 +1,482 @@
+"""Tail-sampling flight recorder: durably retain the traces that matter.
+
+Everything else in ``repro.obs`` aggregates — sketches, burn rates,
+cost ledgers. After a p99 breach the operator's question is the
+opposite of an aggregate: *"show me the trace of a query that was
+slow."* The flight recorder answers it with tail sampling: every
+finished query's span tree flows past, but only the interesting ones
+are retained —
+
+* **errored/degraded queries** (the serve layer fell back to
+  brute-force, or the router marked a shard failed),
+* **SLO-window breaches** (the burn-rate evaluator says the error
+  budget is burning when the query lands), and
+* **tail latencies** — queries at or above a live
+  :class:`~repro.obs.timeseries.QuantileSketch` quantile threshold
+  (p99 by default), measured over everything the recorder has seen.
+
+Retention is bounded twice over: at most ``capacity`` traces and at
+most ``budget_bytes`` of serialized trace bytes are resident, oldest
+evicted first (a hypothesis property pins that no arrival/latency
+sequence can exceed either budget). Each retained
+:class:`FlightTrace` is self-contained: the serialized span rows, the
+pre-computed critical path, and the pre-computed cost bill — computed
+at retention time, because the live ``RequestTrace`` objects bills are
+derived from do not survive serialization.
+
+Durability goes through the same :class:`~repro.storage.object_store.
+ObjectStore` machinery as every other artifact in this repo: traces
+are content-addressed (``{root}/_flights/{trace_id}.json`` where the
+id is a truncated SHA-256 of the canonical payload), writes are
+idempotent (an existing key is never re-put, so a crashed
+:meth:`FlightRecorder.persist` re-run converges and then idles), and
+the PUT boundary is a registered crash point (``obs:put-flight``)
+exercised by the chaos matrix in ``tests/test_obs_chaos.py``.
+
+Hedged retries (``repro.shard.router``) tag their spans with
+``hedge=True``; the recorder skips any query whose span tree sits
+under a hedge span, so a hedge winner and its loser are never
+double-counted as two independent slow queries — the retry is
+attributed to its originating trace instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.obs.attribution import QueryBill
+from repro.obs.critical_path import critical_path
+from repro.obs.export import span_to_dict, span_tree_from_dicts
+from repro.obs.timeseries import QuantileSketch, TelemetryHub
+from repro.obs.trace import Span
+
+if TYPE_CHECKING:  # circular-import-free type hints only
+    from repro.obs.slo import SLO
+    from repro.storage.object_store import ObjectStore
+
+#: Key directory for retained flight traces (under the obs root).
+FLIGHT_DIR = "_flights"
+
+#: Version tag inside every persisted flight trace.
+FLIGHT_SCHEMA = "repro.obs.flight/v1"
+
+#: Default resident ring budgets.
+DEFAULT_FLIGHT_CAPACITY = 64
+DEFAULT_FLIGHT_BUDGET_BYTES = 1 << 20
+
+#: Default live tail-retention quantile and its warmup.
+DEFAULT_TAIL_QUANTILE = 0.99
+DEFAULT_MIN_SAMPLES = 20
+
+
+def flight_key(root: str, trace_id: str) -> str:
+    """Object-store key of one retained trace."""
+    return f"{root}/{FLIGHT_DIR}/{trace_id}.json"
+
+
+def _bill_to_dict(bill: QueryBill) -> dict:
+    """A :class:`QueryBill` as JSON-safe scalars (bills don't round-trip
+    through spans, so the flight stores the computed numbers)."""
+    return {
+        "query": bill.query,
+        "instance_type": bill.instance_type,
+        "instance_hourly_usd": bill.instance_hourly_usd,
+        "est_latency_s": bill.est_latency_s,
+        "requests": bill.requests,
+        "bytes_read": bill.bytes_read,
+        "bytes_written": bill.bytes_written,
+        "request_cost_usd": bill.total_request_cost_usd(),
+        "compute_cost_usd": bill.compute_cost_usd,
+        "phases": [
+            {
+                "phase": p.phase,
+                "spans": p.spans,
+                "requests": p.requests,
+                "gets": p.gets,
+                "puts": p.puts,
+                "lists": p.lists,
+                "bytes_read": p.bytes_read,
+                "bytes_written": p.bytes_written,
+                "est_latency_s": p.est_latency_s,
+                "request_cost_usd": p.request_cost_usd,
+                "compute_cost_usd": p.compute_cost_usd,
+            }
+            for p in bill.phases
+        ],
+    }
+
+
+@dataclass
+class FlightTrace:
+    """One retained ("black-boxed") query trace, fully self-contained."""
+
+    trace_id: str
+    reason: str  # "error" | "slo-breach" | "tail"
+    latency_s: float
+    at_s: float
+    query: str
+    slow_phase: str
+    spans: list[dict] = field(default_factory=list)
+    critical_path: list[dict] = field(default_factory=list)
+    bill: dict | None = None
+    nbytes: int = 0
+
+    def root(self) -> Span:
+        """The span tree, rebuilt for rendering/critical-path walks."""
+        return span_tree_from_dicts(self.spans)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "trace_id": self.trace_id,
+            "reason": self.reason,
+            "latency_s": self.latency_s,
+            "at_s": self.at_s,
+            "query": self.query,
+            "slow_phase": self.slow_phase,
+            "spans": self.spans,
+            "critical_path": self.critical_path,
+            "bill": self.bill,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlightTrace":
+        if data.get("schema") != FLIGHT_SCHEMA:
+            raise ValueError(
+                f"bad schema tag {data.get('schema')!r}; want {FLIGHT_SCHEMA!r}"
+            )
+        trace = cls(
+            trace_id=str(data["trace_id"]),
+            reason=str(data["reason"]),
+            latency_s=float(data["latency_s"]),
+            at_s=float(data["at_s"]),
+            query=str(data.get("query", "")),
+            slow_phase=str(data.get("slow_phase", "")),
+            spans=list(data.get("spans", [])),
+            critical_path=list(data.get("critical_path", [])),
+            bill=data.get("bill"),
+        )
+        trace.nbytes = len(trace.serialize())
+        return trace
+
+    def serialize(self) -> bytes:
+        """Canonical JSON bytes — what :meth:`FlightRecorder.persist`
+        puts and what the content hash covers."""
+        return (
+            json.dumps(self.to_dict(), sort_keys=True) + "\n"
+        ).encode("utf-8")
+
+    def describe(self) -> str:
+        """One summary line for ``repro top``."""
+        cost = ""
+        if self.bill is not None:
+            total = float(self.bill["request_cost_usd"]) + float(
+                self.bill["compute_cost_usd"]
+            )
+            cost = f"  ${total:.3e}"
+        return (
+            f"{self.trace_id}  {self.latency_s * 1000:9.2f} ms  "
+            f"{self.reason:<10}  {self.slow_phase or '-':<12} "
+            f"{self.query}{cost}"
+        )
+
+
+class FlightRecorder:
+    """Bounded tail-sampling ring of retained query traces.
+
+    Hook it in with :func:`use_flight_recorder`; the serve layer feeds
+    every leader query's finished root span through :meth:`record`.
+    Thread-safe (the serve path is concurrent).
+    """
+
+    def __init__(
+        self,
+        store: "ObjectStore | None" = None,
+        *,
+        root: str = "obs",
+        capacity: int = DEFAULT_FLIGHT_CAPACITY,
+        budget_bytes: int = DEFAULT_FLIGHT_BUDGET_BYTES,
+        tail_quantile: float = DEFAULT_TAIL_QUANTILE,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+        slo: "SLO | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if budget_bytes < 1:
+            raise ValueError(f"budget_bytes must be >= 1, got {budget_bytes}")
+        if not 0.0 < tail_quantile <= 1.0:
+            raise ValueError(
+                f"tail_quantile must be in (0, 1], got {tail_quantile}"
+            )
+        self.store = store
+        self.root = root
+        self.capacity = int(capacity)
+        self.budget_bytes = int(budget_bytes)
+        self.tail_quantile = float(tail_quantile)
+        self.min_samples = int(min_samples)
+        self.slo = slo
+        self._sketch = QuantileSketch()
+        self._retained: list[FlightTrace] = []
+        self._resident_bytes = 0
+        self._persisted: set[str] = set()
+        self._lock = threading.Lock()
+        # Counters for `repro top` and tests.
+        self.observed = 0
+        self.retained_total = 0
+        self.evicted = 0
+        self.oversized_dropped = 0
+        self.hedges_skipped = 0
+
+    # -- live threshold ------------------------------------------------
+    def threshold_s(self) -> float | None:
+        """The live tail-retention latency threshold (None in warmup)."""
+        if self._sketch.count < self.min_samples:
+            return None
+        return self._sketch.quantile(self.tail_quantile)
+
+    @staticmethod
+    def _under_hedge(span: Span) -> bool:
+        """Whether ``span`` sits under a hedged-retry ancestor."""
+        node: Span | None = span
+        while node is not None:
+            if bool(node.attributes.get("hedge", False)):
+                return True
+            node = node.parent
+        return False
+
+    # -- ingest --------------------------------------------------------
+    def record(
+        self,
+        root_span: Span | None,
+        *,
+        latency_s: float,
+        at_s: float,
+        error: bool = False,
+        bill: QueryBill | None = None,
+        hub: TelemetryHub | None = None,
+    ) -> FlightTrace | None:
+        """Consider one finished query for retention.
+
+        Returns the retained :class:`FlightTrace` (its ``trace_id`` is
+        the exemplar the caller should attach to sketches/histograms)
+        or ``None`` when the query is not interesting enough to keep.
+        """
+        if root_span is None or latency_s < 0:
+            return None
+        if self._under_hedge(root_span):
+            # A hedged retry of a query already being recorded: do not
+            # double-count winner and loser as two slow queries.
+            with self._lock:
+                self.hedges_skipped += 1
+            return None
+        # Classify against the sketch *before* absorbing this sample,
+        # so the threshold reflects the population prior to arrival.
+        threshold = self.threshold_s()
+        reason: str | None = None
+        if error:
+            reason = "error"
+        elif self.slo is not None and hub is not None:
+            if not self.slo.evaluate(hub).ok:
+                reason = "slo-breach"
+        if (
+            reason is None
+            and threshold is not None
+            and latency_s >= threshold
+        ):
+            reason = "tail"
+        self._sketch.observe(max(latency_s, 0.0))
+        with self._lock:
+            self.observed += 1
+        if reason is None:
+            return None
+        flight = self._build(root_span, latency_s, at_s, reason, bill)
+        with self._lock:
+            if flight.nbytes > self.budget_bytes:
+                # One trace alone would blow the byte budget: drop it
+                # rather than violate the bound the property test pins.
+                self.oversized_dropped += 1
+                return None
+            self._retained.append(flight)
+            self._resident_bytes += flight.nbytes
+            while (
+                len(self._retained) > self.capacity
+                or self._resident_bytes > self.budget_bytes
+            ):
+                evicted = self._retained.pop(0)
+                self._resident_bytes -= evicted.nbytes
+                self.evicted += 1
+            self.retained_total += 1
+        root_span.set("trace_id", flight.trace_id)
+        return flight
+
+    def _build(
+        self,
+        root_span: Span,
+        latency_s: float,
+        at_s: float,
+        reason: str,
+        bill: QueryBill | None,
+    ) -> FlightTrace:
+        spans = [span_to_dict(s) for s in root_span.walk()]
+        steps = [
+            {
+                "name": s.name,
+                "phase": s.phase,
+                "duration_s": s.duration_s,
+                "self_s": s.self_s,
+                "requests": s.requests,
+            }
+            for s in critical_path(root_span)
+        ]
+        bill_dict = _bill_to_dict(bill) if bill is not None else None
+        slow_phase = ""
+        if bill_dict is not None and bill_dict["phases"]:
+            slow_phase = max(
+                bill_dict["phases"], key=lambda p: p["est_latency_s"]
+            )["phase"]
+        elif steps:
+            tagged = [s for s in steps if s["phase"]]
+            if tagged:
+                slow_phase = max(tagged, key=lambda s: s["self_s"])["phase"]
+        flight = FlightTrace(
+            trace_id="",
+            reason=reason,
+            latency_s=float(latency_s),
+            at_s=float(at_s),
+            query=str(root_span.attributes.get("query", root_span.name)),
+            slow_phase=str(slow_phase),
+            spans=spans,
+            critical_path=steps,
+            bill=bill_dict,
+        )
+        # Content-address the trace: the id is derived from the payload
+        # with the id field blank, so identical traces share a key and
+        # persistence is naturally idempotent.
+        flight.trace_id = hashlib.sha256(flight.serialize()).hexdigest()[:16]
+        flight.nbytes = len(flight.serialize())
+        return flight
+
+    # -- read ----------------------------------------------------------
+    def traces(self) -> list[FlightTrace]:
+        """Retained traces, oldest first."""
+        with self._lock:
+            return list(self._retained)
+
+    def get(self, trace_id: str) -> FlightTrace | None:
+        """Retained trace by id (unique prefixes accepted)."""
+        with self._lock:
+            matches = [
+                t for t in self._retained if t.trace_id.startswith(trace_id)
+            ]
+        return matches[0] if len(matches) == 1 else None
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._resident_bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._retained)
+
+    # -- durability ----------------------------------------------------
+    def persist(self, store: "ObjectStore | None" = None) -> int:
+        """Durably PUT every retained trace not yet written.
+
+        Content-addressed and existence-checked, so re-running after a
+        crash converges byte-identically and a clean re-run makes zero
+        mutations (the chaos-matrix idempotence contract). Returns the
+        number of traces written. The PUT is the registered
+        ``obs:put-flight`` crash point.
+        """
+        target = store if store is not None else self.store
+        if target is None:
+            raise ValueError("flight recorder has no object store to persist to")
+        written = 0
+        for flight in self.traces():
+            key = flight_key(self.root, flight.trace_id)
+            if flight.trace_id in self._persisted or target.exists(key):
+                self._persisted.add(flight.trace_id)
+                continue
+            target.put(key, flight.serialize())
+            self._persisted.add(flight.trace_id)
+            written += 1
+        return written
+
+
+# ---------------------------------------------------------------------
+# durable reads
+# ---------------------------------------------------------------------
+def list_flights(store: "ObjectStore", root: str = "obs") -> list[str]:
+    """Trace ids of every durably retained flight, sorted."""
+    prefix = f"{root}/{FLIGHT_DIR}/"
+    ids = []
+    for info in store.list(prefix):
+        name = info.key[len(prefix):]
+        if name.endswith(".json"):
+            ids.append(name[: -len(".json")])
+    return sorted(ids)
+
+
+def load_flight(
+    store: "ObjectStore", trace_id: str, root: str = "obs"
+) -> FlightTrace:
+    """One durably retained flight by id (unique prefixes accepted)."""
+    from repro.errors import ReproError
+
+    matches = [t for t in list_flights(store, root) if t.startswith(trace_id)]
+    if not matches:
+        raise ReproError(f"no retained flight trace matches {trace_id!r}")
+    if len(matches) > 1:
+        raise ReproError(
+            f"ambiguous flight trace id {trace_id!r}: matches {matches}"
+        )
+    data = store.get(flight_key(root, matches[0]))
+    return FlightTrace.from_dict(json.loads(data.decode("utf-8")))
+
+
+def load_flights(store: "ObjectStore", root: str = "obs") -> list[FlightTrace]:
+    """Every durably retained flight, slowest first."""
+    flights = [
+        load_flight(store, trace_id, root)
+        for trace_id in list_flights(store, root)
+    ]
+    flights.sort(key=lambda f: (-f.latency_s, f.trace_id))
+    return flights
+
+
+# ---------------------------------------------------------------------
+# process-wide default recorder (None = flight recording off)
+# ---------------------------------------------------------------------
+_global_recorder: FlightRecorder | None = None
+_global_lock = threading.Lock()
+
+
+def get_flight_recorder() -> FlightRecorder | None:
+    """The process-wide flight recorder, or ``None`` when disabled."""
+    return _global_recorder
+
+
+def set_flight_recorder(
+    recorder: FlightRecorder | None,
+) -> FlightRecorder | None:
+    """Replace the default recorder; returns the previous one."""
+    global _global_recorder
+    with _global_lock:
+        previous, _global_recorder = _global_recorder, recorder
+    return previous
+
+
+@contextmanager
+def use_flight_recorder(recorder: FlightRecorder | None):
+    """Scope: make ``recorder`` the default for the duration."""
+    previous = set_flight_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_flight_recorder(previous)

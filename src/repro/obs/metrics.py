@@ -100,12 +100,15 @@ class Gauge(_Instrument):
 
 
 class _HistogramSeries:
-    __slots__ = ("counts", "sum", "count")
+    __slots__ = ("counts", "sum", "count", "exemplars")
 
     def __init__(self, n_buckets: int) -> None:
         self.counts = [0] * (n_buckets + 1)  # last bucket = +Inf
         self.sum = 0.0
         self.count = 0
+        # bucket index -> (value, trace_id): the largest exemplar-tagged
+        # observation that landed in that bucket.
+        self.exemplars: dict[int, tuple[float, str]] = {}
 
 
 class Histogram(_Instrument):
@@ -125,19 +128,34 @@ class Histogram(_Instrument):
             raise ValueError("histogram buckets must be sorted and non-empty")
         self.buckets = tuple(float(b) for b in buckets)
 
-    def observe(self, value: float, **labels: str) -> None:
+    def observe(
+        self, value: float, trace_id: str | None = None, **labels: str
+    ) -> None:
+        """Record ``value``; ``trace_id`` attaches a bucket exemplar
+        (OpenMetrics-style) linking the bucket to a retained trace."""
         key = self._key(labels)
         with self._lock:
             series = self._series.get(key)
             if series is None:
                 series = _HistogramSeries(len(self.buckets))
                 self._series[key] = series
-            series.counts[bisect_left(self.buckets, value)] += 1
+            bucket = bisect_left(self.buckets, value)
+            series.counts[bucket] += 1
             series.sum += value
             series.count += 1
+            if trace_id is not None:
+                candidate = (float(value), str(trace_id))
+                if series.exemplars.get(bucket, (-1.0, "")) < candidate:
+                    series.exemplars[bucket] = candidate
+
+    def _bound_label(self, bucket: int) -> str:
+        if bucket >= len(self.buckets):
+            return "+Inf"
+        return f"{self.buckets[bucket]:g}"
 
     def snapshot(self, **labels: str) -> dict:
-        """``{"count", "sum", "buckets": {le: cumulative_count}}``."""
+        """``{"count", "sum", "buckets": {le: cumulative_count}}`` plus
+        an ``"exemplars"`` map when any bucket carries one."""
         key = self._key(labels)
         with self._lock:
             series = self._series.get(key)
@@ -149,7 +167,18 @@ class Histogram(_Instrument):
                 cumulative += count
                 out[f"{bound:g}"] = cumulative
             out["+Inf"] = cumulative + series.counts[-1]
-            return {"count": series.count, "sum": series.sum, "buckets": out}
+            snap = {"count": series.count, "sum": series.sum, "buckets": out}
+            if series.exemplars:
+                snap["exemplars"] = {
+                    self._bound_label(bucket): {
+                        "value": value,
+                        "trace_id": trace_id,
+                    }
+                    for bucket, (value, trace_id) in sorted(
+                        series.exemplars.items()
+                    )
+                }
+            return snap
 
 
 class MetricsRegistry:
@@ -244,11 +273,21 @@ class MetricsRegistry:
             for key, value in sorted(data["series"].items()):
                 suffix = f"{{{key}}}" if key else ""
                 if isinstance(value, dict):  # histogram
+                    exemplars = value.get("exemplars", {})
                     for bound, count in value["buckets"].items():
                         sep = "," if key else ""
-                        lines.append(
+                        line = (
                             f'{name}_bucket{{{key}{sep}le="{bound}"}} {count}'
                         )
+                        exemplar = exemplars.get(bound)
+                        if exemplar is not None:
+                            # OpenMetrics exemplar syntax: the bucket's
+                            # count, then `# {labels} value`.
+                            line += (
+                                f' # {{trace_id="{exemplar["trace_id"]}"}}'
+                                f' {exemplar["value"]:g}'
+                            )
+                        lines.append(line)
                     lines.append(f"{name}_sum{suffix} {value['sum']:g}")
                     lines.append(f"{name}_count{suffix} {value['count']}")
                 else:

@@ -74,6 +74,7 @@ class QuantileSketch:
         "sum",
         "_min",
         "_max",
+        "exemplar",
         "_lock",
     )
 
@@ -101,11 +102,19 @@ class QuantileSketch:
         self.sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        #: (value, trace_id) of the largest exemplar-tagged observation —
+        #: the retained flight trace a dashboard p99 bar links to.
+        self.exemplar: tuple[float, str] | None = None
         self._lock = threading.Lock()
 
     # -- ingest --------------------------------------------------------
-    def observe(self, value: float) -> None:
-        """Record one non-negative observation."""
+    def observe(self, value: float, *, trace_id: str | None = None) -> None:
+        """Record one non-negative observation.
+
+        ``trace_id`` attaches an exemplar: the sketch remembers the
+        (value, trace id) pair with the largest value, so quantile
+        estimates near the tail can link back to a retained trace.
+        """
         if value < 0:
             raise ValueError(f"sketch values must be >= 0, got {value}")
         with self._lock:
@@ -113,6 +122,10 @@ class QuantileSketch:
             self.sum += value
             self._min = min(self._min, value)
             self._max = max(self._max, value)
+            if trace_id is not None and (
+                self.exemplar is None or value >= self.exemplar[0]
+            ):
+                self.exemplar = (float(value), str(trace_id))
             if value <= self.min_positive:
                 self._zero_count += 1
                 return
@@ -211,6 +224,13 @@ class QuantileSketch:
                 merged.sum += source.sum
                 merged._min = min(merged._min, source._min)
                 merged._max = max(merged._max, source._max)
+                # Tuple comparison (value, then trace id) keeps the
+                # exemplar choice commutative under merge reordering.
+                if source.exemplar is not None and (
+                    merged.exemplar is None
+                    or source.exemplar > merged.exemplar
+                ):
+                    merged.exemplar = source.exemplar
         while len(merged._bins) > merged.max_bins:
             merged._collapse_locked()
         return merged
@@ -218,7 +238,7 @@ class QuantileSketch:
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict:
         with self._lock:
-            return {
+            data = {
                 "relative_accuracy": self.relative_accuracy,
                 "max_bins": self.max_bins,
                 "bins": {str(i): n for i, n in self._bins.items()},
@@ -228,6 +248,12 @@ class QuantileSketch:
                 "min": self._min if self.count else None,
                 "max": self._max if self.count else None,
             }
+            if self.exemplar is not None:
+                data["exemplar"] = {
+                    "value": self.exemplar[0],
+                    "trace_id": self.exemplar[1],
+                }
+            return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "QuantileSketch":
@@ -243,6 +269,12 @@ class QuantileSketch:
             sketch._min = float(data["min"])
         if data.get("max") is not None:
             sketch._max = float(data["max"])
+        exemplar = data.get("exemplar")
+        if exemplar is not None:
+            sketch.exemplar = (
+                float(exemplar["value"]),
+                str(exemplar["trace_id"]),
+            )
         return sketch
 
 
@@ -261,6 +293,13 @@ class WindowAggregate:
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+
+    def absorb_agg(self, other: "WindowAggregate") -> None:
+        """Fold a peer window's aggregates in (commutative addition)."""
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
 
     def to_dict(self) -> dict:
         return {
@@ -356,6 +395,41 @@ class WindowedSeries:
         points = self.points()
         return points if last is None else points[-last:]
 
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: "WindowedSeries") -> "WindowedSeries":
+        """Fold ``other`` into ``self``, window-index-wise.
+
+        Both series must share ``window_s`` so indices line up. The
+        fold is pointwise commutative addition with *no* eviction — a
+        snapshot fold must be associative and commutative regardless of
+        merge order, and capacity-based eviction mid-fold would make
+        the result order-dependent. Capacity applies only to live
+        observation. Returns ``self``.
+        """
+        if other.window_s != self.window_s:
+            raise ValueError(
+                "cannot merge series with different window widths: "
+                f"{self.window_s} vs {other.window_s}"
+            )
+        with other._lock:
+            rows = [
+                (i, WindowAggregate.from_dict(other._windows[i].to_dict()))
+                for i in sorted(other._windows)
+            ]
+            late = other.late_dropped
+        with self._lock:
+            self.capacity = max(self.capacity, other.capacity)
+            self.late_dropped += late
+            for index, agg in rows:
+                mine = self._windows.get(index)
+                if mine is None:
+                    self._windows[index] = agg
+                else:
+                    mine.absorb_agg(agg)
+                if self._newest is None or index > self._newest:
+                    self._newest = index
+        return self
+
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict:
         with self._lock:
@@ -411,7 +485,9 @@ class WindowedQuantiles:
         self._newest: int | None = None
         self._lock = threading.Lock()
 
-    def observe(self, value: float, *, at_s: float) -> None:
+    def observe(
+        self, value: float, *, at_s: float, trace_id: str | None = None
+    ) -> None:
         index = int(math.floor(at_s / self.window_s))
         with self._lock:
             if self._newest is not None and index <= self._newest - self.capacity:
@@ -425,7 +501,7 @@ class WindowedQuantiles:
             horizon = self._newest - self.capacity
             for stale in [i for i in self._sketches if i <= horizon]:
                 del self._sketches[stale]
-        sketch.observe(value)
+        sketch.observe(value, trace_id=trace_id)
 
     def windows(self) -> list[tuple[int, QuantileSketch]]:
         """Retained (window index, sketch) pairs, oldest first."""
@@ -445,6 +521,33 @@ class WindowedQuantiles:
     def quantile_series(self, q: float) -> list[tuple[int, float]]:
         """Per-window quantile estimates, oldest first."""
         return [(i, sketch.quantile(q)) for i, sketch in self.windows()]
+
+    def merge(self, other: "WindowedQuantiles") -> "WindowedQuantiles":
+        """Fold ``other`` in, window-index-wise sketch merge.
+
+        Same contract as :meth:`WindowedSeries.merge`: matching
+        ``window_s`` (and relative accuracy, required by the sketch
+        merge), no eviction during the fold so the result is
+        independent of merge order. Returns ``self``.
+        """
+        if other.window_s != self.window_s:
+            raise ValueError(
+                "cannot merge quantile series with different window "
+                f"widths: {self.window_s} vs {other.window_s}"
+            )
+        for index, sketch in other.windows():
+            with self._lock:
+                mine = self._sketches.get(index)
+                merged = sketch if mine is None else mine.merge(sketch)
+                # Re-materialize so `self` never aliases `other`'s state.
+                self._sketches[index] = QuantileSketch.from_dict(
+                    merged.to_dict()
+                )
+                if self._newest is None or index > self._newest:
+                    self._newest = index
+        with self._lock:
+            self.capacity = max(self.capacity, other.capacity)
+        return self
 
     def to_dict(self) -> dict:
         return {
@@ -551,6 +654,36 @@ class CostLedger:
             return 0.0
         return self.last_at_s - self.first_at_s
 
+    def merge(self, other: "CostLedger") -> "CostLedger":
+        """Fold a peer process's ledger in (fieldwise addition).
+
+        Storage bytes fold by max — two snapshots of the same deployment
+        describe the same bytes, not twice the bytes. Returns ``self``.
+        """
+        other_data = other.to_dict()
+        with self._lock:
+            self.serve_request_usd += float(other_data["serve_request_usd"])
+            self.serve_compute_usd += float(other_data["serve_compute_usd"])
+            self.serve_queries += int(other_data["serve_queries"])
+            self.maintain_request_usd += float(
+                other_data["maintain_request_usd"]
+            )
+            self.maintain_compute_usd += float(
+                other_data["maintain_compute_usd"]
+            )
+            self.index_build_usd += float(other_data["index_build_usd"])
+            self.data_bytes = max(
+                self.data_bytes, int(other_data["data_bytes"])
+            )
+            self.index_bytes = max(
+                self.index_bytes, int(other_data["index_bytes"])
+            )
+            if other_data["first_at_s"] is not None:
+                self._touch_locked(float(other_data["first_at_s"]))
+            if other_data["last_at_s"] is not None:
+                self._touch_locked(float(other_data["last_at_s"]))
+        return self
+
     def to_dict(self) -> dict:
         with self._lock:
             return {
@@ -647,6 +780,29 @@ class TelemetryHub:
         """Names of every registered quantile series, sorted."""
         with self._lock:
             return sorted(self._quantiles)
+
+    def merge(self, other: "TelemetryHub") -> "TelemetryHub":
+        """Fold another hub in: series, sketches, tail, and ledger.
+
+        The snapshot store uses this to fold telemetry from independent
+        processes/shards/runs; every component merge is commutative and
+        associative (window-wise addition, bin-wise sketch addition,
+        sorted tail-sample union, fieldwise ledger addition), so the
+        fold result is independent of merge order — the property the
+        hypothesis suite pins. Returns ``self``.
+        """
+        if other.window_s != self.window_s:
+            raise ValueError(
+                "cannot merge hubs with different window widths: "
+                f"{self.window_s} vs {other.window_s}"
+            )
+        for name in other.series_names():
+            self.series(name).merge(other.series(name))
+        for name in other.quantile_names():
+            self.quantiles(name).merge(other.quantiles(name))
+        self.tail.merge(other.tail)
+        self.ledger.merge(other.ledger)
+        return self
 
     def snapshot(self) -> dict:
         """JSON-safe dump of every series, sketch, tail sample, and the

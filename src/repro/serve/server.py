@@ -35,6 +35,7 @@ from repro.errors import (
 from repro.lake.snapshot import Snapshot
 from repro.lake.table import LakeTable
 from repro.obs.attribution import attribute
+from repro.obs.flight import get_flight_recorder
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S, get_registry
 from repro.obs.timeseries import QuantileSketch, get_hub
 from repro.obs.trace import get_tracer
@@ -377,13 +378,13 @@ class SearchServer:
                 self.stats.observe_latency(modeled_s)
                 self.stats.fresh_matches += fresh_matches
             _QUERIES.inc(status="deduplicated" if shared else "served")
-            _LATENCY.observe(modeled_s)
-            self._record_telemetry(
+            trace_id = self._record_telemetry(
                 modeled_s,
                 root=None if shared else flight["root"],
                 degraded=flight["degraded"] and not shared,
                 fresh_matches=fresh_matches,
             )
+            _LATENCY.observe(modeled_s, trace_id=trace_id)
             return result
         finally:
             _INFLIGHT.add(-1)
@@ -405,18 +406,40 @@ class SearchServer:
         root,
         degraded: bool,
         fresh_matches: int = 0,
-    ) -> None:
+    ) -> str | None:
         """Feed the per-query outcome into the process telemetry hub.
 
         Every caller (leader or deduplicated) contributes a latency
         observation and a query count — that is what it experienced.
         Only the flight leader carries ``root`` (the finished span
         tree), so only it is attributed into dollars, the cost ledger,
-        and the tail recorder: the spend happened once.
+        the tail recorder, and the flight recorder: the spend happened
+        once. Returns the trace id when the flight recorder retained
+        this query, so callers can attach it as an exemplar.
         """
         hub = get_hub()
         at_s = self.client.store.clock.now()
-        hub.quantiles("serve.latency_s").observe(modeled_s, at_s=at_s)
+        trace_id: str | None = None
+        bill = None
+        if root is not None and root.end_s is not None:
+            bill = attribute(
+                root, latency=self.latency_model, costs=self.cost_model
+            )
+            recorder = get_flight_recorder()
+            if recorder is not None:
+                retained = recorder.record(
+                    root,
+                    latency_s=modeled_s,
+                    at_s=at_s,
+                    error=degraded,
+                    bill=bill,
+                    hub=hub,
+                )
+                if retained is not None:
+                    trace_id = retained.trace_id
+        hub.quantiles("serve.latency_s").observe(
+            modeled_s, at_s=at_s, trace_id=trace_id
+        )
         hub.series("serve.queries").observe(1.0, at_s=at_s)
         if fresh_matches:
             hub.series("ingest.fresh_matches").observe(
@@ -424,11 +447,8 @@ class SearchServer:
             )
         if degraded:
             hub.series("serve.degraded").observe(1.0, at_s=at_s)
-        if root is None or root.end_s is None:
-            return
-        bill = attribute(
-            root, latency=self.latency_model, costs=self.cost_model
-        )
+        if bill is None:
+            return trace_id
         request_usd = bill.total_request_cost_usd(self.cost_model)
         compute_usd = bill.compute_cost_usd
         hub.series("serve.cost_usd").observe(
@@ -436,3 +456,4 @@ class SearchServer:
         )
         hub.ledger.record_query(request_usd, compute_usd, at_s=at_s)
         hub.tail.record_bill(bill, modeled_s, at_s=at_s, degraded=degraded)
+        return trace_id

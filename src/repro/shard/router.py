@@ -388,9 +388,20 @@ class QueryRouter:
             hub.series("router.hedges").observe(1.0, at_s=at_s)
             peer = group.peer_of(replica)
             try:
-                hedge_result, hedge_latency, hedge_degraded = self._attempt(
-                    peer, column, query, k, partition
-                )
+                # The hedge runs under a span tagged `hedge=True` plus
+                # the originating trace id, so critical-path attribution
+                # and the flight recorder can tell a hedged retry from
+                # an independent query (and never double-count winner
+                # and loser as two slow queries).
+                with get_tracer().span(
+                    "router.hedge",
+                    hedge=True,
+                    shard=shard_id,
+                    origin_trace_id=self._origin_trace_id(),
+                ):
+                    hedge_result, hedge_latency, hedge_degraded = (
+                        self._attempt(peer, column, query, k, partition)
+                    )
                 # The hedge launches when the primary crosses the
                 # threshold; whichever answer lands first wins and the
                 # loser is cancelled. Both sets of issued requests are
@@ -417,6 +428,18 @@ class QueryRouter:
         )
         hub.series(f"router.shard{shard_id}.queries").observe(1.0, at_s=at_s)
         return outcome
+
+    @staticmethod
+    def _origin_trace_id() -> str:
+        """Identity of the query this hedge retries: the root span's
+        retained trace id when the flight recorder assigned one, else
+        the root span id (stable within the process)."""
+        span = get_tracer().current()
+        if span is None:
+            return ""
+        while span.parent is not None:
+            span = span.parent
+        return str(span.attributes.get("trace_id", span.span_id))
 
     def _attempt(
         self,

@@ -82,7 +82,7 @@ class TestCrashPoints:
         text = (REPO_ROOT / "docs" / "protocol.md").read_text()
         documented = set(
             re.findall(
-                r"`((?:index|compact|vacuum|ingest|drain|crack):[a-z-]+)`",
+                r"`((?:index|compact|vacuum|ingest|drain|crack|obs):[a-z-]+)`",
                 text,
             )
         )

@@ -1,0 +1,189 @@
+"""Crash matrices for the telemetry plane's durability verbs (``obs``).
+
+Flight-trace persistence and snapshot commits are the observability
+plane's only store mutations. Both are content-addressed leaf objects
+the lake invariants never reference, so the §IV-D argument is the
+simplest in the protocol: a crash at any PUT leaves either nothing or
+a valid (smaller) retained set, the re-run skips keys that already
+exist and uploads the remainder, and convergence is byte-identical.
+This file holds the ``obs`` verb to the same bar as ``index`` /
+``compact`` / ``crack``: crash after EVERY mutation, recover by
+re-running the same operation, compare bytes.
+
+Determinism note: span ids come from a process-global counter, so the
+operation closures rebuild their span trees from FIXED rows via
+:func:`span_tree_from_dicts` — a live tracer would hash differently on
+every replay and the matrix could never converge.
+"""
+
+from __future__ import annotations
+
+from repro.chaos import CRASH_POINTS, crash_matrix
+from repro.core.client import RottnestClient
+from repro.lake.table import LakeTable, TableConfig
+from repro.obs.export import span_tree_from_dicts
+from repro.obs.flight import FlightRecorder, list_flights, load_flight
+from repro.obs.store import SnapshotStore
+from repro.obs.timeseries import TelemetryHub
+from repro.storage.object_store import InMemoryObjectStore
+from repro.util.clock import SimClock
+
+from tests.conftest import EVENT_SCHEMA, event_batch
+
+LAKE_ROOT = "lake/events"
+INDEX_DIR = "idx/events"
+LAKE_CONFIG = TableConfig(
+    row_group_rows=64, page_target_bytes=4096, checkpoint_interval=1
+)
+
+#: Fixed wall-clock for every telemetry stamp: SimClock never advances
+#: on its own, so the same state hashes to the same keys on every run.
+AT_S = 1_000_000.0
+
+
+def _make_client(store) -> RottnestClient:
+    client = RottnestClient(
+        store,
+        INDEX_DIR,
+        LakeTable.open(store, LAKE_ROOT, LAKE_CONFIG),
+        key_entropy=lambda: b"\x00\x00\x00\x00",
+    )
+    client.meta.checkpoint_interval = 1
+    return client
+
+
+def _base() -> InMemoryObjectStore:
+    clock = SimClock(start=AT_S)
+    store = InMemoryObjectStore(clock=clock)
+    lake = LakeTable.create(store, LAKE_ROOT, EVENT_SCHEMA, LAKE_CONFIG)
+    lake.append(event_batch(30, seed=1))
+    return store
+
+
+def _fixed_root(seed: int):
+    """A finished two-span query tree with deterministic span ids."""
+    base = seed * 10
+    return span_tree_from_dicts(
+        [
+            {
+                "span_id": base + 1, "parent_id": None,
+                "name": "serve.query", "start_s": 0.0,
+                "end_s": 0.25 * (seed + 1), "thread": "main",
+                "attributes": {"query": f"q{seed}"}, "events": [],
+            },
+            {
+                "span_id": base + 2, "parent_id": base + 1,
+                "name": "data.fetch", "start_s": 0.0,
+                "end_s": 0.25 * (seed + 1), "thread": "main",
+                "attributes": {"phase": "data"}, "events": [],
+            },
+        ]
+    )
+
+
+def _recorder_with_flights(client) -> FlightRecorder:
+    recorder = FlightRecorder(client.store)
+    for seed in range(2):
+        recorder.record(
+            _fixed_root(seed),
+            latency_s=0.25 * (seed + 1),
+            at_s=AT_S,
+            error=True,
+        )
+    return recorder
+
+
+def _persist_flights(client) -> None:
+    _recorder_with_flights(client).persist()
+
+
+def _deterministic_hub() -> TelemetryHub:
+    hub = TelemetryHub()
+    for i in range(5):
+        at_s = AT_S + i * 7.0
+        hub.quantiles("serve.latency_s").observe(0.01 * (i + 1), at_s=at_s)
+        hub.series("serve.queries").observe(1.0, at_s=at_s)
+    return hub
+
+
+def _commit_snapshot(client) -> None:
+    SnapshotStore(client.store).commit(
+        _deterministic_hub(), source="proc", at_s=AT_S
+    )
+
+
+def _persist_plane(client) -> None:
+    """The full durability path one process runs at shutdown: flights
+    first, then the snapshot referencing their ids."""
+    recorder = _recorder_with_flights(client)
+    recorder.persist()
+    SnapshotStore(client.store).commit(
+        _deterministic_hub(),
+        source="proc",
+        flights=[t.trace_id for t in recorder.traces()],
+        at_s=AT_S,
+    )
+
+
+class TestFlightCrashMatrix:
+    def test_every_crash_point_byte_identical(self):
+        matrix = crash_matrix(
+            _base(), _make_client, "obs", _persist_flights, compare="bytes"
+        )
+        assert matrix.mutations == 2  # one PUT per retained trace
+        assert matrix.all_recoverable, matrix.describe()
+        assert matrix.crash_points() == {"obs:put-flight"}
+        assert matrix.crash_points() <= set(CRASH_POINTS)
+
+    def test_partial_persist_leaves_valid_traces_and_rerun_idles(self):
+        store = _base()
+        client = _make_client(store)
+        _persist_flights(client)
+        ids = list_flights(store)
+        assert len(ids) == 2
+        for trace_id in ids:
+            flight = load_flight(store, trace_id)
+            assert flight.root().name == "serve.query"
+        # Idempotence: the whole persist path re-run mutates nothing.
+        before = store.stats.snapshot()
+        _persist_flights(_make_client(store))
+        delta = store.stats.snapshot().delta(before)
+        assert delta.puts + delta.deletes == 0
+
+
+class TestSnapshotCrashMatrix:
+    def test_every_crash_point_byte_identical(self):
+        matrix = crash_matrix(
+            _base(), _make_client, "obs", _commit_snapshot, compare="bytes"
+        )
+        assert matrix.mutations == 1  # the single snapshot PUT
+        assert matrix.all_recoverable, matrix.describe()
+        assert matrix.crash_points() == {"obs:put-snapshot"}
+
+    def test_commit_rerun_idles(self):
+        store = _base()
+        _commit_snapshot(_make_client(store))
+        assert len(SnapshotStore(store).keys()) == 1
+        before = store.stats.snapshot()
+        _commit_snapshot(_make_client(store))
+        delta = store.stats.snapshot().delta(before)
+        assert delta.puts + delta.deletes == 0
+
+
+class TestFullPlaneCrashMatrix:
+    def test_flights_then_snapshot_every_boundary(self):
+        matrix = crash_matrix(
+            _base(), _make_client, "obs", _persist_plane, compare="bytes"
+        )
+        assert matrix.mutations == 3  # 2 flights + 1 snapshot
+        assert matrix.all_recoverable, matrix.describe()
+        assert matrix.crash_points() == {
+            "obs:put-flight",
+            "obs:put-snapshot",
+        }
+
+    def test_snapshot_flight_ids_survive_recovery(self):
+        store = _base()
+        _persist_plane(_make_client(store))
+        payload = SnapshotStore(store).snapshots()[0]
+        assert payload["flights"] == list_flights(store)
